@@ -1,0 +1,74 @@
+// Ablation: contribution of individual schedule primitives (Section 4's table in
+// Figure 6) — starting from a naive schedule and adding tiling, vectorization/
+// parallelism (CPU) or shared-memory cooperation and vthreads (GPU) one at a time.
+#include "bench/common.h"
+#include "src/sim/machine.h"
+
+using namespace tvmcpp;
+
+int main() {
+  std::printf("Ablation: schedule primitives on matmul 1024 (lower = better, ms)\n\n");
+  topi::OpWorkload wl;
+  wl.kind = "dense";
+  wl.n = 1024;
+  wl.oc = 1024;
+  wl.k = 1024;
+
+  {
+    Target t = Target::ArmA53();
+    autotune::TuningTask task(wl, t, 3);
+    const topi::ConfigSpace& space = task.space();
+    auto cost_where = [&](std::function<bool(const topi::Config&)> pred) {
+      double best = 1e30;
+      for (int64_t i = 0; i < space.size(); ++i) {
+        topi::Config c = space.At(i);
+        if (pred(c)) {
+          best = std::min(best, task.TrueCost(i));
+        }
+      }
+      return best;
+    };
+    TextTable table({"CPU schedule", "best time (ms)"});
+    table.AddRow({"tiling only", TextTable::Num(cost_where([](const topi::Config& c) {
+                                   return c.at("vectorize") == 0 && c.at("parallel") == 0;
+                                 }) * 1e3)});
+    table.AddRow({"+ vectorize", TextTable::Num(cost_where([](const topi::Config& c) {
+                                   return c.at("vectorize") == 1 && c.at("parallel") == 0;
+                                 }) * 1e3)});
+    table.AddRow({"+ parallel", TextTable::Num(cost_where([](const topi::Config& c) {
+                                  return c.at("vectorize") == 1 && c.at("parallel") == 1;
+                                }) * 1e3)});
+    table.Print();
+  }
+  std::printf("\n");
+  {
+    Target t = Target::TitanX();
+    autotune::TuningTask task(wl, t, 3);
+    const topi::ConfigSpace& space = task.space();
+    auto cost_where = [&](std::function<bool(const topi::Config&)> pred) {
+      double best = 1e30;
+      for (int64_t i = 0; i < space.size(); ++i) {
+        topi::Config c = space.At(i);
+        if (pred(c)) {
+          best = std::min(best, task.TrueCost(i));
+        }
+      }
+      return best;
+    };
+    TextTable table({"GPU schedule", "best time (ms)"});
+    table.AddRow({"thread binding only", TextTable::Num(cost_where([](const topi::Config& c) {
+                                           return c.at("use_shared") == 0 &&
+                                                  c.at("vthread") == 1;
+                                         }) * 1e3)});
+    table.AddRow({"+ shared memory scope (coop fetch)",
+                  TextTable::Num(cost_where([](const topi::Config& c) {
+                    return c.at("use_shared") == 1 && c.at("vthread") == 1;
+                  }) * 1e3)});
+    table.AddRow({"+ virtual threads", TextTable::Num(cost_where([](const topi::Config& c) {
+                                         return c.at("use_shared") == 1 &&
+                                                c.at("vthread") > 1;
+                                       }) * 1e3)});
+    table.Print();
+  }
+  return 0;
+}

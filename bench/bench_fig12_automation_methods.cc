@@ -1,0 +1,62 @@
+// Figure 12 + Table 1: comparison of automation methods on a ResNet-18 conv2d operator
+// (C7) on the Titan X model: ML-based model vs blackbox genetic algorithm vs random
+// search, with cuDNN as the baseline to beat.
+// Paper result: the ML-based optimizer finds better configs much faster and crosses the
+// cuDNN line within a few hundred trials.
+#include "bench/common.h"
+
+using namespace tvmcpp;
+using namespace tvmcpp::autotune;
+
+int main() {
+  std::printf("Figure 12: automation methods on C7 conv2d (28x28, 128->256, 3x3 s2)\n\n");
+  topi::OpWorkload wl = frontend::ResnetConvWorkloads()[6];  // C7
+  Target t = Target::TitanX();
+  double cudnn = baselines::OperatorSeconds(baselines::Library::kCudnn, wl, t);
+
+  TuneOptions opt;
+  opt.num_trials = 400;
+  opt.batch_size = 16;
+  opt.seed = 5;
+
+  struct Row {
+    std::string name;
+    TunerKind kind;
+    TuneResult result;
+  };
+  std::vector<Row> rows = {{"TVM: ML-based model", TunerKind::kMlBased, {}},
+                           {"TVM: blackbox genetic", TunerKind::kGenetic, {}},
+                           {"TVM: random search", TunerKind::kRandom, {}}};
+  for (Row& r : rows) {
+    TuningTask task(wl, t, 77);
+    r.result = Tune(&task, r.kind, opt);
+  }
+
+  std::printf("schedule space: %lld configs; cuDNN baseline: %.3f ms\n",
+              static_cast<long long>(TuningTask(wl, t).size()), cudnn * 1e3);
+  std::printf("speedup relative to cuDNN (higher is better), by number of trials:\n\n");
+  TextTable table({"trials", rows[0].name, rows[1].name, rows[2].name});
+  for (int checkpoint : {25, 50, 100, 200, 300, 400}) {
+    std::vector<std::string> row{std::to_string(checkpoint)};
+    for (const Row& r : rows) {
+      size_t i = std::min<size_t>(static_cast<size_t>(checkpoint), r.result.history.size());
+      double best = i > 0 ? r.result.history[i - 1].best_seconds : 1.0;
+      row.push_back(TextTable::Num(cudnn / best, 2) + "x");
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf("\nTable 1: comparison of automation methods\n");
+  TextTable t1({"method", "category data cost", "model bias", "need hardware info",
+                "learn from history", "best found (ms)"});
+  t1.AddRow({"blackbox auto-tuning (random)", "high", "none", "no", "no",
+             TextTable::Num(rows[2].result.best_seconds * 1e3)});
+  t1.AddRow({"blackbox genetic algorithm", "high", "none", "no", "no",
+             TextTable::Num(rows[1].result.best_seconds * 1e3)});
+  t1.AddRow({"predefined cost model", "none", "high", "yes", "no", "(n/a: see sim/)"});
+  t1.AddRow({"ML-based cost model (TVM)", "low", "low", "no", "yes",
+             TextTable::Num(rows[0].result.best_seconds * 1e3)});
+  t1.Print();
+  return 0;
+}

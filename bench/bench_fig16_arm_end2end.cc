@@ -1,0 +1,32 @@
+// Figure 16: ARM Cortex-A53 end-to-end evaluation of TVM vs Tensorflow Lite on
+// ResNet-18, MobileNet and DQN.
+// Paper result: TVM outperforms TFLite on all three workloads.
+#include "bench/common.h"
+
+using namespace tvmcpp;
+
+int main() {
+  std::printf("Figure 16: ARM A53 end-to-end (times in ms)\n");
+  std::printf("paper: TVM beats TFLite on ResNet-18, MobileNet and DQN\n\n");
+  Target t = Target::ArmA53();
+  struct Case {
+    std::string name;
+    frontend::Model model;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"ResNet-18", frontend::ResNet18(1, 224)});
+  cases.push_back({"MobileNet", frontend::MobileNet(1, 224)});
+  cases.push_back({"DQN", frontend::Dqn(1)});
+
+  TextTable table({"model", "Tensorflow Lite", "TVM w/o graph opt", "TVM", "speedup"});
+  for (Case& c : cases) {
+    graph::TunedConfigs tuned = bench::TuneModel(c.model, t, 48);
+    double tvm = bench::TvmEndToEndSeconds(c.model, t, tuned, true);
+    double tvm_nograph = bench::TvmEndToEndSeconds(c.model, t, tuned, false);
+    double tflite = bench::LibraryEndToEndSeconds(c.model, t, baselines::Library::kTFLite);
+    table.AddRow({c.name, TextTable::Num(tflite * 1e3), TextTable::Num(tvm_nograph * 1e3),
+                  TextTable::Num(tvm * 1e3), TextTable::Num(tflite / tvm, 2) + "x"});
+  }
+  table.Print();
+  return 0;
+}

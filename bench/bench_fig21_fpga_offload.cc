@@ -1,0 +1,143 @@
+// Figure 21: ResNet-18 inference time breakdown on the PYNQ platform — CPU-only vs
+// CPU+FPGA (VDLA) with conv layers offloaded.
+// Paper result: offloaded conv layers speed up ~40x; end-to-end gain is bounded by the
+// layers that stay on the CPU (Amdahl's law): the first conv, residuals, activations.
+#include "bench/common.h"
+#include "src/sim/machine.h"
+#include "src/vdla/vdla.h"
+
+// The Fig.10 GEMM builder, redeclared locally.
+#include "src/lower/lower.h"
+#include "src/schedule/schedule.h"
+#include "src/te/tensor.h"
+
+using namespace tvmcpp;
+
+namespace {
+
+LoweredFunc VdlaGemm(int m, int n, int k) {
+  auto fit = [](int v, int cap) {
+    int best = 16;
+    for (int c = 16; c <= cap; c += 16) {
+      if (v % c == 0) {
+        best = c;
+      }
+    }
+    return best;
+  };
+  int tm = fit(m, 128), tn = fit(n, 128);
+  int tk = 32;
+  while (k % tk != 0) {
+    tk /= 2;
+  }
+  Tensor A = placeholder({make_int(m), make_int(k)}, DataType::Float32(), "A");
+  Tensor B = placeholder({make_int(k), make_int(n)}, DataType::Float32(), "B");
+  IterVar rk = reduce_axis(Range(make_int(0), make_int(k)), "rk");
+  Tensor C = compute({make_int(m), make_int(n)},
+                     [&](const std::vector<Var>& i) {
+                       return sum(A({i[0], rk->var}) * B({rk->var, i[1]}), {rk});
+                     },
+                     "C");
+  Schedule s = create_schedule({C});
+  Tensor CL = s->cache_write(C, "vdla.acc_buffer");
+  Stage sc = (*s)[C];
+  IterVar yo, xo, yi, xi;
+  sc->tile(sc->leaf_iter_vars[0], sc->leaf_iter_vars[1], tm, tn, &yo, &xo, &yi, &xi);
+  IterVar attach = xo;
+  if ((n / tn) % 2 == 0) {
+    IterVar vt, rest;
+    sc->split(xo, (n / tn) / 2, &vt, &rest);
+    sc->bind(vt, thread_axis("vthread"));
+    attach = rest;
+  }
+  (*s)[CL]->compute_at(sc, attach);
+  Stage scl = (*s)[CL];
+  IterVar ci0 = scl->leaf_iter_vars[0], ci1 = scl->leaf_iter_vars[1];
+  IterVar ko, ki;
+  scl->split(scl->leaf_iter_vars[2], tk, &ko, &ki);
+  IterVar c0o, c0i, c1o, c1i, kio, kii;
+  scl->split(ci0, 16, &c0o, &c0i);
+  scl->split(ci1, 16, &c1o, &c1i);
+  scl->split(ki, std::min(tk, 16), &kio, &kii);
+  scl->reorder({ko, c0o, c1o, kio, c0i, c1i, kii});
+  Tensor AL = s->cache_read(A, "vdla.inp_buffer", {CL.op()});
+  Tensor BL = s->cache_read(B, "vdla.wgt_buffer", {CL.op()});
+  (*s)[AL]->compute_at(scl, ko);
+  (*s)[BL]->compute_at(scl, ko);
+  Tensor w = placeholder({make_int(16), make_int(16)}, DataType::Float32(), "w");
+  Tensor x = placeholder({make_int(16), make_int(16)}, DataType::Float32(), "x");
+  IterVar k16 = reduce_axis(Range(make_int(0), make_int(16)), "k");
+  Tensor y = compute({make_int(16), make_int(16)},
+                     [&](const std::vector<Var>& i) {
+                       return sum(w({i[0], k16->var}) * x({k16->var, i[1]}), {k16});
+                     },
+                     "g16");
+  scl->tensorize(c0i, decl_tensor_intrin(y, kGemmIntrin, kFillZeroIntrin, kGemmIntrin));
+  return Lower(s, {A, B, C}, "vdla_gemm");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 21: ResNet-18 on PYNQ — CPU only vs CPU+FPGA (VDLA offload)\n");
+  std::printf("paper: ~40x speedup on offloaded conv layers; end-to-end bounded by the"
+              " CPU-resident layers (Amdahl)\n\n");
+  Target cpu = Target::ArmA9();
+  Target vdla = Target::Vdla();
+
+  frontend::Model model = frontend::ResNet18(1, 224);
+  graph::TunedConfigs tuned = bench::TuneModel(model, cpu, 32);
+
+  // CPU times per conv layer + everything else, from the graph executor.
+  graph::CompileOptions opts;
+  opts.tuned = &tuned;
+  graph::GraphExecutor exec(model.graph, cpu, opts);
+  double conv_cpu = 0, first_conv_cpu = 0, other_cpu = 0;
+  {
+    // Attribute kernel costs: conv-master groups vs the rest.
+    auto costs = exec.KernelCosts();
+    size_t wi = 0;
+    auto wls = exec.workloads();
+    for (const auto& [name, sec] : costs) {
+      bool is_conv = name.find("conv") != std::string::npos ||
+                     name.find("down") != std::string::npos;
+      if (is_conv && name.find("conv0") != std::string::npos) {
+        first_conv_cpu += sec;
+      } else if (is_conv) {
+        conv_cpu += sec;
+      } else {
+        other_cpu += sec;
+      }
+    }
+    (void)wi;
+    (void)wls;
+  }
+
+  // FPGA times for the offloadable convs (all but the shallow first layer), as im2col
+  // GEMMs on the VDLA simulator.
+  double conv_fpga = 0;
+  for (size_t i = 1; i < frontend::ResnetConvWorkloads().size(); ++i) {
+    const topi::OpWorkload& wl = frontend::ResnetConvWorkloads()[i];
+    auto up16 = [](int v) { return (v + 15) / 16 * 16; };
+    int oh = static_cast<int>(topi::ConvOutDim(wl.h, wl.k, wl.stride, wl.pad));
+    int m = up16(wl.oc), n = up16(oh * oh), k = up16(wl.ic * wl.k * wl.k);
+    VdlaRunStats stats = RunOnVdla(VdlaGemm(m, n, k), vdla);
+    // Each distinct layer shape appears a known number of times in ResNet-18; count 2
+    // for the repeated 3x3 blocks, 1 otherwise (C2 appears 4x: two blocks x two convs).
+    int repeats = (wl.k == 3 && wl.stride == 1 && wl.ic == wl.oc) ? 3 : 1;
+    conv_fpga += stats.Seconds(vdla) * repeats;
+  }
+
+  double cpu_total = first_conv_cpu + conv_cpu + other_cpu;
+  double fpga_total = first_conv_cpu + conv_fpga + other_cpu;
+  TextTable table({"configuration", "conv (s)", "layer_0 + other (s)", "total (s)"});
+  table.AddRow({"TVM ARM (CPU only)", TextTable::Num(conv_cpu, 3),
+                TextTable::Num(first_conv_cpu + other_cpu, 3), TextTable::Num(cpu_total, 3)});
+  table.AddRow({"TVM ARM+FPGA", TextTable::Num(conv_fpga, 3),
+                TextTable::Num(first_conv_cpu + other_cpu, 3),
+                TextTable::Num(fpga_total, 3)});
+  table.Print();
+  std::printf("\noffloaded conv speedup: %.1fx; end-to-end speedup: %.2fx (Amdahl-bound)\n",
+              conv_cpu / conv_fpga, cpu_total / fpga_total);
+  return 0;
+}

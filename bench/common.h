@@ -1,0 +1,100 @@
+// Shared helpers for the figure/table reproduction benches.
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "src/autotune/tuner.h"
+#include "src/baselines/baselines.h"
+#include "src/frontend/models.h"
+#include "src/graph/executor.h"
+#include "src/support/table.h"
+
+namespace tvmcpp {
+namespace bench {
+
+// Tunes a workload with the ML-based optimizer; returns (best seconds, best config).
+// Results are cached per (workload, target) within one process.
+inline std::pair<double, topi::Config> TuneOp(const topi::OpWorkload& wl,
+                                              const Target& target, int trials = 96,
+                                              uint64_t seed = 7) {
+  static std::unordered_map<std::string, std::pair<double, topi::Config>> cache;
+  std::string key = wl.Key() + "@" + target.name;
+  auto it = cache.find(key);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  autotune::TuningTask task(wl, target, seed);
+  autotune::TuneOptions opt;
+  opt.num_trials = trials;
+  opt.batch_size = 16;
+  opt.seed = seed;
+  autotune::TuneResult r = autotune::Tune(&task, autotune::TunerKind::kMlBased, opt);
+  std::pair<double, topi::Config> out{task.TrueCost(r.best_config),
+                                      task.space().At(r.best_config)};
+  cache[key] = out;
+  return out;
+}
+
+// Collects the tuned configs for every master workload of a model.
+inline graph::TunedConfigs TuneModel(const frontend::Model& model, const Target& target,
+                                     int trials = 64) {
+  graph::TunedConfigs tuned;
+  graph::GraphExecutor probe(model.graph, target, {});
+  for (const topi::OpWorkload& wl : probe.workloads()) {
+    if (tuned.count(wl.Key())) {
+      continue;
+    }
+    tuned[wl.Key()] = TuneOp(wl, target, trials).second;
+  }
+  return tuned;
+}
+
+// End-to-end estimated time of a model under TVM (tuned, optionally without fusion).
+inline double TvmEndToEndSeconds(const frontend::Model& model, const Target& target,
+                                 const graph::TunedConfigs& tuned, bool fusion) {
+  graph::CompileOptions opts;
+  opts.enable_fusion = fusion;
+  opts.tuned = &tuned;
+  graph::GraphExecutor exec(model.graph, target, opts);
+  return exec.EstimateSeconds();
+}
+
+// End-to-end time of a model executed with a vendor library: per-master-op library
+// kernels + injective ops at memory-bound speed + framework overhead.
+inline double LibraryEndToEndSeconds(const frontend::Model& model, const Target& target,
+                                     baselines::Library lib) {
+  graph::GraphExecutor probe(model.graph, target, {});
+  double total = 0;
+  for (const topi::OpWorkload& wl : probe.workloads()) {
+    baselines::Library use = lib;
+    // cuDNN has no depthwise kernels: frameworks fall back to their own (paper Sec 6.1).
+    if (lib == baselines::Library::kCudnn && wl.kind == "depthwise_conv2d") {
+      use = baselines::Library::kMxNetKernels;
+    }
+    total += baselines::OperatorSeconds(use, wl, target);
+  }
+  // Frameworks run injective/reduction ops as separate memory-bound kernels (no fusion).
+  double epilogue = 0;
+  for (const auto& node : model.graph.nodes()) {
+    if (node.op == "input" || node.op == "const" || node.op == "conv2d" ||
+        node.op == "depthwise_conv2d" || node.op == "dense" ||
+        node.op == "conv2d_transpose") {
+      continue;
+    }
+    double elems = 1;
+    for (int64_t d : node.shape) {
+      elems *= static_cast<double>(d);
+    }
+    // read input + write output, plus per-kernel launch overhead
+    epilogue += elems * 4 * 2.5 / (target.dram_gbps * 1e9) + 6e-6;
+  }
+  return (total + epilogue) * baselines::FrameworkOverhead(lib);
+}
+
+}  // namespace bench
+}  // namespace tvmcpp
+
+#endif  // BENCH_COMMON_H_

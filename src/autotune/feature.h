@@ -1,0 +1,28 @@
+// Loop-program feature extraction for the ML cost model (Figure 13).
+//
+// Features include memory access counts and touched sizes of each buffer at each loop
+// level, reuse ratios, arithmetic counts, and one-hot loop annotations — exactly the
+// feature families the paper describes for the XGBoost-style model.
+#ifndef SRC_AUTOTUNE_FEATURE_H_
+#define SRC_AUTOTUNE_FEATURE_H_
+
+#include <vector>
+
+#include "src/lower/lower.h"
+#include "src/sim/analysis.h"
+
+namespace tvmcpp {
+namespace autotune {
+
+inline constexpr int kFeatureDim = 48;
+
+// Extracts a fixed-length feature vector from analyzed program stats.
+std::vector<double> ExtractFeatures(const ProgramStats& stats);
+
+// Convenience: analyze + extract.
+std::vector<double> ExtractFeatures(const LoweredFunc& func);
+
+}  // namespace autotune
+}  // namespace tvmcpp
+
+#endif  // SRC_AUTOTUNE_FEATURE_H_

@@ -1,0 +1,319 @@
+#include "src/autotune/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "src/autotune/feature.h"
+#include "src/lower/lower.h"
+#include "src/sim/machine.h"
+#include "src/support/random.h"
+
+namespace tvmcpp {
+namespace autotune {
+
+TuningTask::TuningTask(topi::OpWorkload wl, Target target, uint64_t seed, double noise_level)
+    : wl_(std::move(wl)),
+      target_(std::move(target)),
+      seed_(seed),
+      noise_level_(noise_level) {
+  space_ = topi::GetScheduleSpace(wl_, target_);
+}
+
+double TuningTask::CostOf(int64_t index, bool with_noise) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cost_cache_.find(index);
+    if (it != cost_cache_.end()) {
+      double base = it->second;
+      if (!with_noise) {
+        return base;
+      }
+      Rng rng(seed_ * 1000003 + static_cast<uint64_t>(index));
+      return base * (1.0 + noise_level_ * rng.Normal());
+    }
+  }
+  topi::Config config = space_.At(index);
+  topi::BuiltOp built = topi::BuildOpCompute(wl_);
+  double seconds;
+  std::vector<double> features;
+  try {
+    Schedule s = topi::ApplyOpSchedule(wl_, target_, built, config);
+    LoweredFunc f = Lower(s, built.Args(), wl_.Key());
+    ProgramStats stats = AnalyzeProgram(f);
+    SimCost cost = target_.kind == TargetKind::kGpu ? EstimateGpuCost(target_, stats)
+                                                    : EstimateCpuCost(target_, stats);
+    seconds = cost.feasible ? cost.seconds : 1.0;
+    features = ExtractFeatures(stats);
+  } catch (const InternalError&) {
+    seconds = 1.0;  // invalid schedule: huge penalty, like a failed on-device run
+    features.assign(kFeatureDim, 0.0);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cost_cache_[index] = seconds;
+    feature_cache_[index] = std::move(features);
+  }
+  if (!with_noise) {
+    return seconds;
+  }
+  Rng rng(seed_ * 1000003 + static_cast<uint64_t>(index));
+  return seconds * (1.0 + noise_level_ * rng.Normal());
+}
+
+double TuningTask::Measure(int64_t index) { return CostOf(index, true); }
+double TuningTask::TrueCost(int64_t index) { return CostOf(index, false); }
+
+std::vector<double> TuningTask::Features(int64_t index) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = feature_cache_.find(index);
+    if (it != feature_cache_.end()) {
+      return it->second;
+    }
+  }
+  CostOf(index, false);
+  std::lock_guard<std::mutex> lock(mu_);
+  return feature_cache_.at(index);
+}
+
+namespace {
+
+// Measures a batch (via the device pool when provided), appending to the history.
+std::vector<double> MeasureBatch(TuningTask* task, const std::vector<int64_t>& batch,
+                                 DevicePool* pool) {
+  std::vector<double> out(batch.size());
+  if (pool != nullptr) {
+    std::vector<MeasureRequest> reqs(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      reqs[i].func_name = task->workload().Key();
+      reqs[i].payload = &batch[i];
+    }
+    std::vector<MeasureResult> results = pool->MeasureBatch(reqs, task->target().name);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      out[i] = results[i].ok ? results[i].seconds : 1.0;
+    }
+    return out;
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    out[i] = task->Measure(batch[i]);
+  }
+  return out;
+}
+
+// Mutates one knob of a config index by a random step (the SA neighborhood).
+int64_t Neighbor(const topi::ConfigSpace& space, int64_t index, Rng* rng) {
+  topi::Config c = space.At(index);
+  const topi::KnobSpec& knob =
+      space.knobs[rng->Uniform(static_cast<uint64_t>(space.knobs.size()))];
+  // Move to an adjacent choice.
+  int64_t cur = c[knob.name];
+  size_t pos = 0;
+  for (size_t i = 0; i < knob.choices.size(); ++i) {
+    if (knob.choices[i] == cur) {
+      pos = i;
+      break;
+    }
+  }
+  if (knob.choices.size() > 1) {
+    size_t next = rng->Uniform(2) == 0
+                      ? (pos == 0 ? 1 : pos - 1)
+                      : (pos + 1 >= knob.choices.size() ? pos - 1 : pos + 1);
+    c[knob.name] = knob.choices[next];
+  }
+  return space.IndexOf(c);
+}
+
+// Parallel simulated annealing over the model's predicted score; returns up to `want`
+// distinct promising unvisited configs (Section 5.3).
+std::vector<int64_t> ExploreWithModel(TuningTask* task, const GbtModel& model,
+                                      std::vector<int64_t>* sa_state, int want, int steps,
+                                      const std::unordered_set<int64_t>& visited, Rng* rng) {
+  const topi::ConfigSpace& space = task->space();
+  auto score = [&](int64_t idx) { return model.Predict(task->Features(idx)); };
+  std::vector<double> cur_score(sa_state->size());
+  for (size_t i = 0; i < sa_state->size(); ++i) {
+    cur_score[i] = score((*sa_state)[i]);
+  }
+  // Track the best-scored configs seen during the walk.
+  std::set<std::pair<double, int64_t>> heap;  // (score, index), ascending
+  auto offer = [&](double sc, int64_t idx) {
+    if (visited.count(idx)) {
+      return;
+    }
+    heap.insert({sc, idx});
+    while (static_cast<int>(heap.size()) > want * 3) {
+      heap.erase(heap.begin());
+    }
+  };
+  double temperature = 1.0;
+  for (int step = 0; step < steps; ++step) {
+    for (size_t i = 0; i < sa_state->size(); ++i) {
+      int64_t proposal = Neighbor(space, (*sa_state)[i], rng);
+      double sc = score(proposal);
+      double delta = sc - cur_score[i];
+      if (delta > 0 || rng->UniformReal() < std::exp(delta / std::max(temperature, 1e-3))) {
+        (*sa_state)[i] = proposal;
+        cur_score[i] = sc;
+      }
+      offer(cur_score[i], (*sa_state)[i]);
+    }
+    temperature *= 0.95;
+  }
+  std::vector<int64_t> batch;
+  std::unordered_set<int64_t> chosen;
+  for (auto it = heap.rbegin(); it != heap.rend() && static_cast<int>(batch.size()) < want;
+       ++it) {
+    if (chosen.insert(it->second).second) {
+      batch.push_back(it->second);
+    }
+  }
+  // Top up with random unvisited configs when the walk found too few.
+  while (static_cast<int>(batch.size()) < want) {
+    int64_t idx = static_cast<int64_t>(rng->Uniform(static_cast<uint64_t>(space.size())));
+    if (!visited.count(idx) && chosen.insert(idx).second) {
+      batch.push_back(idx);
+    }
+    if (chosen.size() + visited.size() >= static_cast<size_t>(space.size())) {
+      break;
+    }
+  }
+  return batch;
+}
+
+}  // namespace
+
+TuneResult Tune(TuningTask* task, TunerKind kind, const TuneOptions& options) {
+  Rng rng(options.seed);
+  TuneResult result;
+  result.best_seconds = 1e30;
+  std::unordered_set<int64_t> visited;
+  int64_t space_size = task->size();
+
+  GbtModel model(GbtParams{40, 5, 0.25, 2, options.objective});
+  std::vector<std::vector<double>> train_x;
+  std::vector<double> train_y;
+  std::vector<int64_t> sa_state;
+  // GA population.
+  std::vector<std::pair<int64_t, double>> population;
+
+  auto record = [&](int64_t idx, double seconds) {
+    visited.insert(idx);
+    if (seconds < result.best_seconds) {
+      result.best_seconds = seconds;
+      result.best_config = idx;
+    }
+    TrialRecord tr;
+    tr.trial = static_cast<int>(result.history.size());
+    tr.config_index = idx;
+    tr.seconds = seconds;
+    tr.best_seconds = result.best_seconds;
+    result.history.push_back(tr);
+  };
+
+  while (static_cast<int>(result.history.size()) < options.num_trials &&
+         static_cast<int64_t>(visited.size()) < space_size) {
+    int want = std::min(options.batch_size,
+                        options.num_trials - static_cast<int>(result.history.size()));
+    std::vector<int64_t> batch;
+    switch (kind) {
+      case TunerKind::kRandom: {
+        std::unordered_set<int64_t> chosen;
+        while (static_cast<int>(batch.size()) < want &&
+               static_cast<int64_t>(visited.size() + chosen.size()) < space_size) {
+          int64_t idx =
+              static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(space_size)));
+          if (!visited.count(idx) && chosen.insert(idx).second) {
+            batch.push_back(idx);
+          }
+        }
+        break;
+      }
+      case TunerKind::kGenetic: {
+        if (population.empty()) {
+          for (int i = 0; i < want; ++i) {
+            batch.push_back(
+                static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(space_size))));
+          }
+        } else {
+          auto tournament = [&]() {
+            const auto& a = population[rng.Uniform(population.size())];
+            const auto& b = population[rng.Uniform(population.size())];
+            return a.second <= b.second ? a.first : b.first;
+          };
+          const topi::ConfigSpace& space = task->space();
+          std::unordered_set<int64_t> chosen;
+          while (static_cast<int>(batch.size()) < want) {
+            topi::Config pa = space.At(tournament());
+            topi::Config pb = space.At(tournament());
+            topi::Config child;
+            for (const topi::KnobSpec& k : space.knobs) {
+              child[k.name] = rng.Uniform(2) == 0 ? pa[k.name] : pb[k.name];
+              if (rng.UniformReal() < 0.1) {
+                child[k.name] = k.choices[rng.Uniform(k.choices.size())];
+              }
+            }
+            int64_t idx = space.IndexOf(child);
+            if (chosen.insert(idx).second) {
+              batch.push_back(idx);
+            }
+          }
+        }
+        break;
+      }
+      case TunerKind::kMlBased: {
+        if (!model.trained()) {
+          std::unordered_set<int64_t> chosen;
+          while (static_cast<int>(batch.size()) < want &&
+                 static_cast<int64_t>(visited.size() + chosen.size()) < space_size) {
+            int64_t idx =
+                static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(space_size)));
+            if (!visited.count(idx) && chosen.insert(idx).second) {
+              batch.push_back(idx);
+            }
+          }
+        } else {
+          if (sa_state.empty()) {
+            for (int i = 0; i < options.sa_parallel; ++i) {
+              sa_state.push_back(
+                  static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(space_size))));
+            }
+          }
+          batch = ExploreWithModel(task, model, &sa_state, want, options.sa_steps, visited,
+                                   &rng);
+        }
+        break;
+      }
+    }
+    if (batch.empty()) {
+      break;
+    }
+    std::vector<double> seconds = MeasureBatch(task, batch, options.pool);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      record(batch[i], seconds[i]);
+      if (kind == TunerKind::kGenetic) {
+        population.emplace_back(batch[i], seconds[i]);
+      }
+      if (kind == TunerKind::kMlBased) {
+        train_x.push_back(task->Features(batch[i]));
+        train_y.push_back(-std::log(std::max(seconds[i], 1e-12)));
+      }
+    }
+    if (kind == TunerKind::kGenetic) {
+      std::sort(population.begin(), population.end(),
+                [](const auto& a, const auto& b) { return a.second < b.second; });
+      if (population.size() > 64) {
+        population.resize(64);
+      }
+    }
+    if (kind == TunerKind::kMlBased) {
+      model.Fit(train_x, train_y);  // periodic refit on all collected data
+    }
+  }
+  return result;
+}
+
+}  // namespace autotune
+}  // namespace tvmcpp

@@ -1,0 +1,90 @@
+// The automated schedule optimizer (Section 5): schedule explorer + ML cost model +
+// simulated distributed measurement.
+//
+// Three automation methods are provided, matching Figure 12 / Table 1:
+//   * kMlBased — parallel simulated annealing guided by the GBT cost model, periodically
+//                refit on measured data (the paper's system)
+//   * kRandom  — uniform random search
+//   * kGenetic — blackbox genetic algorithm (tournament selection + crossover + mutation)
+#ifndef SRC_AUTOTUNE_TUNER_H_
+#define SRC_AUTOTUNE_TUNER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/autotune/gbt.h"
+#include "src/runtime/rpc.h"
+#include "src/runtime/target.h"
+#include "src/topi/schedules.h"
+
+namespace tvmcpp {
+namespace autotune {
+
+// A single-operator tuning task: workload + target + schedule space.
+// Measurement = lower the config's schedule and cost it on the target machine model,
+// with small deterministic noise (standing in for real measurement variance).
+class TuningTask {
+ public:
+  TuningTask(topi::OpWorkload wl, Target target, uint64_t seed = 7,
+             double noise_level = 0.05);
+
+  const topi::ConfigSpace& space() const { return space_; }
+  const topi::OpWorkload& workload() const { return wl_; }
+  const Target& target() const { return target_; }
+
+  // Measured (simulated) runtime of a config, seconds. Thread safe; cached.
+  double Measure(int64_t config_index);
+  // Noise-free model cost (used by benches to report stable bests).
+  double TrueCost(int64_t config_index);
+  // Feature vector of the lowered program for a config. Thread safe; cached.
+  std::vector<double> Features(int64_t config_index);
+
+  int64_t size() const { return space_.size(); }
+
+ private:
+  double CostOf(int64_t config_index, bool with_noise);
+
+  topi::OpWorkload wl_;
+  Target target_;
+  topi::ConfigSpace space_;
+  uint64_t seed_;
+  double noise_level_;
+  std::mutex mu_;
+  std::unordered_map<int64_t, double> cost_cache_;
+  std::unordered_map<int64_t, std::vector<double>> feature_cache_;
+};
+
+enum class TunerKind { kMlBased, kRandom, kGenetic };
+
+struct TrialRecord {
+  int trial = 0;
+  int64_t config_index = 0;
+  double seconds = 0;
+  double best_seconds = 0;  // best seen so far (inclusive)
+};
+
+struct TuneResult {
+  std::vector<TrialRecord> history;
+  int64_t best_config = -1;
+  double best_seconds = 0;
+};
+
+struct TuneOptions {
+  int num_trials = 400;
+  int batch_size = 16;
+  uint64_t seed = 1;
+  GbtObjective objective = GbtObjective::kRank;
+  int sa_steps = 64;       // simulated-annealing walk length per batch
+  int sa_parallel = 32;    // parallel annealing chains
+  DevicePool* pool = nullptr;  // optional simulated RPC cluster for measurement
+};
+
+TuneResult Tune(TuningTask* task, TunerKind kind, const TuneOptions& options);
+
+}  // namespace autotune
+}  // namespace tvmcpp
+
+#endif  // SRC_AUTOTUNE_TUNER_H_

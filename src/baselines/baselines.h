@@ -1,0 +1,42 @@
+// Simulated vendor operator libraries (the paper's comparison systems).
+//
+// Each library is modeled as a per-operator efficiency profile over a target's peak:
+// time = flops / (peak * efficiency(shape)). The profiles encode the structural facts
+// the paper reports — cuDNN is highly tuned for common conv shapes but poor on
+// unconventional ones (DQN's 4x4 stride-2), frameworks use handcrafted depthwise
+// kernels, the Caffe2 ultra-low-precision library is single-threaded and unoptimized for
+// 1x1 stride-2 layers, etc. See DESIGN.md for the substitution rationale.
+#ifndef SRC_BASELINES_BASELINES_H_
+#define SRC_BASELINES_BASELINES_H_
+
+#include <string>
+
+#include "src/runtime/target.h"
+#include "src/topi/schedules.h"
+
+namespace tvmcpp {
+namespace baselines {
+
+// Library identifiers.
+enum class Library {
+  kCudnn,                 // cuDNN v7 (+cuBLAS v8 for dense)
+  kMxNetKernels,          // MXNet handcrafted depthwise/unsupported-op kernels
+  kTensorComprehensions,  // TC auto-tuner (2000 trials of blackbox search)
+  kTFLite,                // TensorFlow Lite ARM kernels
+  kArmComputeLib,         // ARM Compute Library v18.03 (Mali)
+  kCaffe2LowP,            // Caffe2 ultra-low-precision (single-threaded)
+};
+
+std::string LibraryName(Library lib);
+
+// Estimated runtime (seconds) of one operator under the library on `target`.
+double OperatorSeconds(Library lib, const topi::OpWorkload& wl, const Target& target);
+
+// Framework-level end-to-end overhead multiplier (framework scheduling, no fusion):
+// applied by benches when composing whole models from library kernels.
+double FrameworkOverhead(Library lib);
+
+}  // namespace baselines
+}  // namespace tvmcpp
+
+#endif  // SRC_BASELINES_BASELINES_H_

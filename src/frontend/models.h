@@ -1,0 +1,40 @@
+// Model zoo: graph builders for the paper's evaluation workloads (Section 6) —
+// ResNet-18, MobileNet, DQN, DCGAN, and the LSTM language model — plus the Table 2
+// single-operator workload lists (C1–C12, D1–D9).
+#ifndef SRC_FRONTEND_MODELS_H_
+#define SRC_FRONTEND_MODELS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/runtime/ndarray.h"
+#include "src/topi/schedules.h"
+
+namespace tvmcpp {
+namespace frontend {
+
+struct Model {
+  graph::Graph graph;
+  // Random-initialized parameters keyed by node name (the paper's `params`).
+  std::unordered_map<std::string, NDArray> params;
+  std::string input_name = "data";
+  std::vector<int64_t> input_shape;
+};
+
+Model ResNet18(int batch = 1, int image_size = 224);
+Model MobileNet(int batch = 1, int image_size = 224);
+Model Dqn(int batch = 1);      // Nature DQN conv trunk (84x84x4 input)
+Model Dcgan(int batch = 1);    // DCGAN generator (100-d code -> 64x64 image)
+Model LstmLanguageModel(int num_steps = 4, int hidden = 650, int batch = 1);
+
+// Table 2: all conv2d workloads of ResNet-18 (C1..C12).
+std::vector<topi::OpWorkload> ResnetConvWorkloads();
+// Table 2: all depthwise conv2d workloads of MobileNet (D1..D9).
+std::vector<topi::OpWorkload> MobilenetDepthwiseWorkloads();
+
+}  // namespace frontend
+}  // namespace tvmcpp
+
+#endif  // SRC_FRONTEND_MODELS_H_

@@ -1,0 +1,181 @@
+#include "src/graph/executor.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/sim/machine.h"
+
+namespace tvmcpp {
+namespace graph {
+
+GraphExecutor::GraphExecutor(Graph g, Target target, CompileOptions options)
+    : graph_(std::move(g)), target_(std::move(target)), options_(options) {
+  for (const Node& n : graph_.nodes()) {
+    name_to_node_[n.name] = n.id;
+  }
+  Compile();
+}
+
+topi::OpWorkload GraphExecutor::WorkloadOf(const Node& master) const {
+  topi::OpWorkload wl;
+  wl.kind = master.op;
+  const Node& data = graph_.node(master.inputs[0]);
+  if (master.op == "dense") {
+    wl.n = static_cast<int>(data.shape[0]);
+    wl.k = static_cast<int>(data.shape[1]);
+    wl.oc = static_cast<int>(master.shape[1]);
+    return wl;
+  }
+  const Node& kernel = graph_.node(master.inputs[1]);
+  wl.n = static_cast<int>(data.shape[0]);
+  wl.ic = static_cast<int>(data.shape[1]);
+  wl.h = static_cast<int>(data.shape[2]);
+  wl.w = static_cast<int>(data.shape[3]);
+  wl.oc = static_cast<int>(master.shape[1]);
+  wl.k = static_cast<int>(kernel.shape[2]);
+  wl.stride = static_cast<int>(master.attrs.count("stride") ? master.attrs.at("stride") : 1);
+  wl.pad = static_cast<int>(master.attrs.count("pad") ? master.attrs.at("pad") : 0);
+  return wl;
+}
+
+void GraphExecutor::Compile() {
+  if (options_.enable_layout) {
+    AlterLayout(&graph_, target_);
+  }
+  groups_ = FuseOps(graph_, options_.enable_fusion);
+  plan_ = PlanMemory(graph_, groups_);
+
+  // Allocate buffers for every materialized node.
+  for (const FusedGroup& grp : groups_) {
+    const Node& out = graph_.node(grp.nodes.back());
+    values_[out.id] = NDArray::Empty(out.shape, out.dtype);
+  }
+
+  for (const FusedGroup& grp : groups_) {
+    std::unordered_set<int> in_group(grp.nodes.begin(), grp.nodes.end());
+    // External inputs of the group, in first-use order.
+    std::vector<int> externals;
+    auto add_external = [&](int id) {
+      if (std::find(externals.begin(), externals.end(), id) == externals.end()) {
+        externals.push_back(id);
+      }
+    };
+    for (int id : grp.nodes) {
+      for (int in : graph_.node(id).inputs) {
+        if (!in_group.count(in)) {
+          add_external(in);
+        }
+      }
+    }
+    // Build te tensors for the group.
+    std::unordered_map<int, Tensor> tensor_of;
+    std::vector<Tensor> arg_tensors;
+    for (int id : externals) {
+      const Node& n = graph_.node(id);
+      std::vector<Expr> shape;
+      for (int64_t d : n.shape) {
+        shape.push_back(make_int(d));
+      }
+      Tensor t = placeholder(shape, n.dtype, n.name);
+      tensor_of[id] = t;
+      arg_tensors.push_back(t);
+    }
+    Tensor master_tensor;
+    for (int id : grp.nodes) {
+      const Node& n = graph_.node(id);
+      std::vector<Tensor> ins;
+      for (int in : n.inputs) {
+        ins.push_back(tensor_of.at(in));
+      }
+      Tensor t = GetOpInfo(n.op).build(ins, n.attrs, n.name);
+      tensor_of[id] = t;
+      if (id == grp.master) {
+        master_tensor = t;
+      }
+    }
+    Tensor output = tensor_of.at(grp.nodes.back());
+
+    // Pick the schedule config.
+    topi::Config config;
+    const topi::OpWorkload* wl_ptr = nullptr;
+    topi::OpWorkload wl;
+    if (grp.master >= 0) {
+      const Node& mnode = graph_.node(grp.master);
+      if (mnode.op == "conv2d" || mnode.op == "depthwise_conv2d" || mnode.op == "dense" ||
+          mnode.op == "conv2d_transpose") {
+        wl = WorkloadOf(mnode);
+        wl_ptr = &wl;
+        workloads_.push_back(wl);
+        topi::ConfigSpace space = topi::GetScheduleSpace(wl, target_);
+        config = topi::DefaultConfig(space);
+        if (options_.tuned != nullptr) {
+          auto it = options_.tuned->find(wl.Key());
+          if (it != options_.tuned->end()) {
+            config = it->second;
+          }
+        }
+      }
+    }
+    Schedule sch = topi::ScheduleFusedGroup(target_, {output},
+                                            master_tensor.defined() ? master_tensor
+                                                                    : Tensor(),
+                                            config, wl_ptr);
+    std::vector<Tensor> args = arg_tensors;
+    args.push_back(output);
+    Kernel k;
+    k.name = "fused_" + graph_.node(grp.nodes.back()).name;
+    k.func = Lower(sch, args, k.name);
+    k.input_nodes = externals;
+    k.output_node = grp.nodes.back();
+    kernels_.push_back(std::move(k));
+  }
+}
+
+void GraphExecutor::SetInput(const std::string& name, const NDArray& value) {
+  auto it = name_to_node_.find(name);
+  CHECK(it != name_to_node_.end()) << "no input named " << name;
+  values_[it->second] = value;
+}
+
+void GraphExecutor::SetParam(const std::string& name, const NDArray& value) {
+  SetInput(name, value);
+}
+
+void GraphExecutor::Run() {
+  for (const Kernel& k : kernels_) {
+    std::vector<BufferBinding> bindings;
+    for (int id : k.input_nodes) {
+      auto it = values_.find(id);
+      CHECK(it != values_.end()) << "unbound graph buffer " << graph_.node(id).name;
+      bindings.push_back(it->second.Binding());
+    }
+    bindings.push_back(values_.at(k.output_node).Binding());
+    RunLowered(k.func, bindings);
+  }
+}
+
+NDArray GraphExecutor::GetOutput(int index) const {
+  return values_.at(graph_.outputs[static_cast<size_t>(index)]);
+}
+
+double GraphExecutor::EstimateSeconds() const {
+  double total = 0;
+  for (const Kernel& k : kernels_) {
+    total += EstimateCost(target_, k.func).seconds;
+  }
+  return total;
+}
+
+std::vector<std::pair<std::string, double>> GraphExecutor::KernelCosts() const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const Kernel& k : kernels_) {
+    out.emplace_back(k.name, EstimateCost(target_, k.func).seconds);
+  }
+  return out;
+}
+
+}  // namespace graph
+}  // namespace tvmcpp

@@ -1,0 +1,76 @@
+// Graph executor (Section 2's runtime module): compiles a computational graph into fused
+// kernels for a target, runs them on the reference interpreter, and estimates end-to-end
+// latency on the target's machine model.
+#ifndef SRC_GRAPH_EXECUTOR_H_
+#define SRC_GRAPH_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/lower/lower.h"
+#include "src/runtime/ndarray.h"
+#include "src/runtime/target.h"
+
+namespace tvmcpp {
+namespace graph {
+
+// Per-operator tuned configs, keyed by OpWorkload::Key().
+using TunedConfigs = std::unordered_map<std::string, topi::Config>;
+
+struct CompileOptions {
+  bool enable_fusion = true;       // graph-level operator fusion (Section 3)
+  bool enable_fold = true;         // constant folding
+  bool enable_layout = false;      // layout transformation (CPU)
+  const TunedConfigs* tuned = nullptr;
+};
+
+class GraphExecutor {
+ public:
+  GraphExecutor(Graph g, Target target, CompileOptions options = {});
+
+  void SetInput(const std::string& name, const NDArray& value);
+  void SetParam(const std::string& name, const NDArray& value);
+  // Executes all kernels on the interpreter.
+  void Run();
+  NDArray GetOutput(int index) const;
+
+  // Sum of per-kernel machine-model costs: the end-to-end latency estimate.
+  double EstimateSeconds() const;
+  // Per-kernel breakdown (kernel name, seconds).
+  std::vector<std::pair<std::string, double>> KernelCosts() const;
+
+  int num_kernels() const { return static_cast<int>(kernels_.size()); }
+  const MemoryPlan& memory_plan() const { return plan_; }
+  const Graph& graph() const { return graph_; }
+  // The master workloads encountered (for tuning ahead of compilation).
+  const std::vector<topi::OpWorkload>& workloads() const { return workloads_; }
+
+ private:
+  struct Kernel {
+    LoweredFunc func;
+    std::vector<int> input_nodes;  // graph node ids bound to func args (last = output)
+    int output_node = -1;
+    std::string name;
+  };
+
+  void Compile();
+  topi::OpWorkload WorkloadOf(const Node& master) const;
+
+  Graph graph_;
+  Target target_;
+  CompileOptions options_;
+  std::vector<FusedGroup> groups_;
+  MemoryPlan plan_;
+  std::vector<Kernel> kernels_;
+  std::vector<topi::OpWorkload> workloads_;
+  std::unordered_map<int, NDArray> values_;  // node id -> buffer
+  std::unordered_map<std::string, int> name_to_node_;
+};
+
+}  // namespace graph
+}  // namespace tvmcpp
+
+#endif  // SRC_GRAPH_EXECUTOR_H_

@@ -1,0 +1,91 @@
+// Scalar/vector data types used throughout the IR, mirroring TVM's DLDataType.
+#ifndef SRC_IR_DTYPE_H_
+#define SRC_IR_DTYPE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "src/support/logging.h"
+
+namespace tvmcpp {
+
+// Type code for DataType: signed int, unsigned int, IEEE float, or opaque handle (pointer).
+enum class TypeCode : uint8_t { kInt = 0, kUInt = 1, kFloat = 2, kHandle = 3 };
+
+// A (code, bits, lanes) data type. lanes > 1 denotes a vector type produced by vectorization.
+// bits may be sub-byte (1 or 2) for the ultra low-precision operators of Section 6.2.
+class DataType {
+ public:
+  DataType() : code_(TypeCode::kFloat), bits_(32), lanes_(1) {}
+  DataType(TypeCode code, int bits, int lanes) : code_(code), bits_(bits), lanes_(lanes) {}
+
+  TypeCode code() const { return code_; }
+  int bits() const { return bits_; }
+  int lanes() const { return lanes_; }
+
+  bool is_float() const { return code_ == TypeCode::kFloat; }
+  bool is_int() const { return code_ == TypeCode::kInt; }
+  bool is_uint() const { return code_ == TypeCode::kUInt; }
+  bool is_handle() const { return code_ == TypeCode::kHandle; }
+  bool is_bool() const { return code_ == TypeCode::kUInt && bits_ == 1; }
+  bool is_scalar() const { return lanes_ == 1; }
+  bool is_vector() const { return lanes_ > 1; }
+
+  // Bytes occupied by one lane, rounding sub-byte types up to one byte for storage.
+  int bytes() const { return (bits_ + 7) / 8; }
+
+  DataType with_lanes(int lanes) const { return DataType(code_, bits_, lanes); }
+  DataType element_of() const { return with_lanes(1); }
+
+  bool operator==(const DataType& other) const {
+    return code_ == other.code_ && bits_ == other.bits_ && lanes_ == other.lanes_;
+  }
+  bool operator!=(const DataType& other) const { return !(*this == other); }
+
+  static DataType Float(int bits, int lanes = 1) { return DataType(TypeCode::kFloat, bits, lanes); }
+  static DataType Int(int bits, int lanes = 1) { return DataType(TypeCode::kInt, bits, lanes); }
+  static DataType UInt(int bits, int lanes = 1) { return DataType(TypeCode::kUInt, bits, lanes); }
+  static DataType Float32(int lanes = 1) { return Float(32, lanes); }
+  static DataType Float16(int lanes = 1) { return Float(16, lanes); }
+  static DataType Int32(int lanes = 1) { return Int(32, lanes); }
+  static DataType Int64(int lanes = 1) { return Int(64, lanes); }
+  static DataType Int8(int lanes = 1) { return Int(8, lanes); }
+  static DataType Bool(int lanes = 1) { return UInt(1, lanes); }
+  static DataType Handle() { return DataType(TypeCode::kHandle, 64, 1); }
+
+  std::string ToString() const {
+    std::string base;
+    switch (code_) {
+      case TypeCode::kInt:
+        base = "int";
+        break;
+      case TypeCode::kUInt:
+        base = bits_ == 1 ? "bool" : "uint";
+        break;
+      case TypeCode::kFloat:
+        base = "float";
+        break;
+      case TypeCode::kHandle:
+        return "handle";
+    }
+    if (!(code_ == TypeCode::kUInt && bits_ == 1)) {
+      base += std::to_string(bits_);
+    }
+    if (lanes_ > 1) {
+      base += "x" + std::to_string(lanes_);
+    }
+    return base;
+  }
+
+ private:
+  TypeCode code_;
+  int16_t bits_;
+  int16_t lanes_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const DataType& t) { return os << t.ToString(); }
+
+}  // namespace tvmcpp
+
+#endif  // SRC_IR_DTYPE_H_

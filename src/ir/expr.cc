@@ -1,0 +1,209 @@
+#include "src/ir/expr.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tvmcpp {
+
+namespace {
+
+// Inserts casts so both operands of a binary op share a dtype, preferring float over int
+// and wider over narrower.
+void Unify(Expr* a, Expr* b) {
+  DataType ta = (*a)->dtype;
+  DataType tb = (*b)->dtype;
+  if (ta == tb) {
+    return;
+  }
+  CHECK_EQ(ta.lanes(), tb.lanes()) << "cannot unify vector widths " << ta << " vs " << tb;
+  DataType target = ta;
+  if (ta.is_float() != tb.is_float()) {
+    target = ta.is_float() ? ta : tb;
+  } else if (ta.bits() != tb.bits()) {
+    target = ta.bits() >= tb.bits() ? ta : tb;
+  }
+  if (ta != target) {
+    *a = cast(target, *a);
+  }
+  if (tb != target) {
+    *b = cast(target, *b);
+  }
+}
+
+Expr MakeBinary(ExprKind kind, Expr a, Expr b) {
+  Unify(&a, &b);
+  DataType t = a->dtype;
+  return std::make_shared<BinaryNode>(kind, t, std::move(a), std::move(b));
+}
+
+Expr MakeCompare(ExprKind kind, Expr a, Expr b) {
+  Unify(&a, &b);
+  DataType t = DataType::Bool(a->dtype.lanes());
+  return std::make_shared<BinaryNode>(kind, t, std::move(a), std::move(b));
+}
+
+}  // namespace
+
+Expr make_const(DataType t, double value) {
+  if (t.is_float()) {
+    return std::make_shared<FloatImmNode>(t, value);
+  }
+  return std::make_shared<IntImmNode>(t, static_cast<int64_t>(value));
+}
+
+Expr make_int(int64_t value) { return std::make_shared<IntImmNode>(DataType::Int32(), value); }
+Expr make_float(double value) { return std::make_shared<FloatImmNode>(DataType::Float32(), value); }
+Expr make_zero(DataType t) { return make_const(t, 0); }
+
+Var make_var(const std::string& name, DataType t) { return std::make_shared<VarNode>(name, t); }
+
+IterVar make_itervar(const std::string& name, Expr extent, IterVarType type,
+                     const std::string& tag) {
+  Range dom(make_int(0), std::move(extent));
+  return std::make_shared<IterVarNode>(dom, make_var(name), type, tag);
+}
+
+Expr add(Expr a, Expr b) { return MakeBinary(ExprKind::kAdd, std::move(a), std::move(b)); }
+Expr sub(Expr a, Expr b) { return MakeBinary(ExprKind::kSub, std::move(a), std::move(b)); }
+Expr mul(Expr a, Expr b) { return MakeBinary(ExprKind::kMul, std::move(a), std::move(b)); }
+Expr div(Expr a, Expr b) { return MakeBinary(ExprKind::kDiv, std::move(a), std::move(b)); }
+Expr mod(Expr a, Expr b) { return MakeBinary(ExprKind::kMod, std::move(a), std::move(b)); }
+Expr min(Expr a, Expr b) { return MakeBinary(ExprKind::kMin, std::move(a), std::move(b)); }
+Expr max(Expr a, Expr b) { return MakeBinary(ExprKind::kMax, std::move(a), std::move(b)); }
+Expr eq(Expr a, Expr b) { return MakeCompare(ExprKind::kEQ, std::move(a), std::move(b)); }
+Expr ne(Expr a, Expr b) { return MakeCompare(ExprKind::kNE, std::move(a), std::move(b)); }
+Expr lt(Expr a, Expr b) { return MakeCompare(ExprKind::kLT, std::move(a), std::move(b)); }
+Expr le(Expr a, Expr b) { return MakeCompare(ExprKind::kLE, std::move(a), std::move(b)); }
+Expr gt(Expr a, Expr b) { return MakeCompare(ExprKind::kGT, std::move(a), std::move(b)); }
+Expr ge(Expr a, Expr b) { return MakeCompare(ExprKind::kGE, std::move(a), std::move(b)); }
+
+Expr logic_and(Expr a, Expr b) { return MakeBinary(ExprKind::kAnd, std::move(a), std::move(b)); }
+Expr logic_or(Expr a, Expr b) { return MakeBinary(ExprKind::kOr, std::move(a), std::move(b)); }
+Expr logic_not(Expr a) { return std::make_shared<NotNode>(std::move(a)); }
+
+Expr select(Expr cond, Expr t, Expr f) {
+  Unify(&t, &f);
+  return std::make_shared<SelectNode>(std::move(cond), std::move(t), std::move(f));
+}
+
+Expr cast(DataType t, Expr value) {
+  if (value->dtype == t) {
+    return value;
+  }
+  return std::make_shared<CastNode>(t, std::move(value));
+}
+
+Expr let(Var v, Expr value, Expr body) {
+  return std::make_shared<LetNode>(std::move(v), std::move(value), std::move(body));
+}
+
+Expr load(DataType t, Var buf, Expr index, Expr predicate) {
+  return std::make_shared<LoadNode>(t, std::move(buf), std::move(index), std::move(predicate));
+}
+
+Expr ramp(Expr base, Expr stride, int lanes) {
+  return std::make_shared<RampNode>(std::move(base), std::move(stride), lanes);
+}
+
+Expr broadcast(Expr value, int lanes) {
+  if (lanes == 1) {
+    return value;
+  }
+  return std::make_shared<BroadcastNode>(std::move(value), lanes);
+}
+
+Expr call_pure(DataType t, const std::string& name, std::vector<Expr> args) {
+  return std::make_shared<CallNode>(t, name, std::move(args), CallType::kPureIntrinsic);
+}
+
+Expr call_intrin(DataType t, const std::string& name, std::vector<Expr> args) {
+  return std::make_shared<CallNode>(t, name, std::move(args), CallType::kIntrinsic);
+}
+
+Expr call_extern(DataType t, const std::string& name, std::vector<Expr> args) {
+  return std::make_shared<CallNode>(t, name, std::move(args), CallType::kExtern);
+}
+
+namespace {
+
+// NOTE: the dtype must be read before the argument list is built — function argument
+// evaluation order is unspecified, so call_pure(x->dtype, ..., {std::move(x)}) would be
+// a use-after-move on some compilers.
+Expr UnaryIntrin(const char* name, Expr x) {
+  DataType t = x->dtype;
+  return call_pure(t, name, {std::move(x)});
+}
+
+}  // namespace
+
+Expr exp(Expr x) { return UnaryIntrin("exp", std::move(x)); }
+Expr log(Expr x) { return UnaryIntrin("log", std::move(x)); }
+Expr sqrt(Expr x) { return UnaryIntrin("sqrt", std::move(x)); }
+Expr tanh(Expr x) { return UnaryIntrin("tanh", std::move(x)); }
+Expr sigmoid(Expr x) { return UnaryIntrin("sigmoid", std::move(x)); }
+Expr popcount(Expr x) {
+  DataType t = DataType::Int32(x->dtype.lanes());
+  return call_pure(t, "popcount", {std::move(x)});
+}
+
+Expr floordiv_expr(Expr a, Expr b) { return div(std::move(a), std::move(b)); }
+
+Expr if_then_else(Expr cond, Expr t, Expr f) {
+  Unify(&t, &f);
+  DataType dtype = t->dtype;
+  return call_pure(dtype, "if_then_else", {std::move(cond), std::move(t), std::move(f)});
+}
+
+Expr tensor_read(DataType t, std::shared_ptr<void> op, int value_index, const std::string& name,
+                 std::vector<Expr> indices) {
+  return std::make_shared<TensorReadNode>(t, std::move(op), value_index, name,
+                                          std::move(indices));
+}
+
+const IntImmNode* as_int(const Expr& e) {
+  return e->kind == ExprKind::kIntImm ? static_cast<const IntImmNode*>(e.get()) : nullptr;
+}
+
+const FloatImmNode* as_float(const Expr& e) {
+  return e->kind == ExprKind::kFloatImm ? static_cast<const FloatImmNode*>(e.get()) : nullptr;
+}
+
+bool is_const_int(const Expr& e, int64_t* out) {
+  if (const IntImmNode* n = as_int(e)) {
+    *out = n->value;
+    return true;
+  }
+  return false;
+}
+
+bool is_zero(const Expr& e) {
+  int64_t v;
+  if (is_const_int(e, &v)) {
+    return v == 0;
+  }
+  if (const FloatImmNode* f = as_float(e)) {
+    return f->value == 0.0;
+  }
+  return false;
+}
+
+bool is_one(const Expr& e) {
+  int64_t v;
+  if (is_const_int(e, &v)) {
+    return v == 1;
+  }
+  if (const FloatImmNode* f = as_float(e)) {
+    return f->value == 1.0;
+  }
+  return false;
+}
+
+int64_t get_const_int(const Expr& e) {
+  const IntImmNode* n = as_int(e);
+  CHECK(n != nullptr) << "expected a constant integer expression";
+  return n->value;
+}
+
+}  // namespace tvmcpp

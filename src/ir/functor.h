@@ -1,0 +1,106 @@
+// Visitor and mutator base classes over the expression/statement IR.
+//
+// Dispatch is a switch on the node kind; subclasses override the per-node Visit_/Mutate_
+// hooks they care about. Mutators rebuild nodes only when a child changed.
+#ifndef SRC_IR_FUNCTOR_H_
+#define SRC_IR_FUNCTOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/ir/expr.h"
+#include "src/ir/stmt.h"
+
+namespace tvmcpp {
+
+// Recursively visits every sub-expression.
+class ExprVisitor {
+ public:
+  virtual ~ExprVisitor() = default;
+  virtual void Visit(const Expr& e);
+
+ protected:
+  virtual void VisitVar(const VarNode* op) {}
+  virtual void VisitIntImm(const IntImmNode* op) {}
+  virtual void VisitFloatImm(const FloatImmNode* op) {}
+  virtual void VisitStringImm(const StringImmNode* op) {}
+  virtual void VisitCast(const CastNode* op);
+  virtual void VisitBinary(const BinaryNode* op);
+  virtual void VisitNot(const NotNode* op);
+  virtual void VisitSelect(const SelectNode* op);
+  virtual void VisitLoad(const LoadNode* op);
+  virtual void VisitRamp(const RampNode* op);
+  virtual void VisitBroadcast(const BroadcastNode* op);
+  virtual void VisitCall(const CallNode* op);
+  virtual void VisitLet(const LetNode* op);
+  virtual void VisitReduce(const ReduceNode* op);
+  virtual void VisitTensorRead(const TensorReadNode* op);
+};
+
+// Recursively visits statements and the expressions they contain.
+class StmtVisitor : public ExprVisitor {
+ public:
+  virtual void VisitStmt(const Stmt& s);
+
+ protected:
+  virtual void VisitLetStmt(const LetStmtNode* op);
+  virtual void VisitAttrStmt(const AttrStmtNode* op);
+  virtual void VisitAssert(const AssertStmtNode* op);
+  virtual void VisitStore(const StoreNode* op);
+  virtual void VisitAllocate(const AllocateNode* op);
+  virtual void VisitFor(const ForNode* op);
+  virtual void VisitIfThenElse(const IfThenElseNode* op);
+  virtual void VisitSeq(const SeqStmtNode* op);
+  virtual void VisitEvaluate(const EvaluateNode* op);
+};
+
+// Rewrites expressions bottom-up. Default hooks rebuild a node when a child changed.
+class ExprMutator {
+ public:
+  virtual ~ExprMutator() = default;
+  virtual Expr Mutate(const Expr& e);
+
+ protected:
+  virtual Expr MutateVar(const VarNode* op, const Expr& e) { return e; }
+  virtual Expr MutateIntImm(const IntImmNode* op, const Expr& e) { return e; }
+  virtual Expr MutateFloatImm(const FloatImmNode* op, const Expr& e) { return e; }
+  virtual Expr MutateStringImm(const StringImmNode* op, const Expr& e) { return e; }
+  virtual Expr MutateCast(const CastNode* op, const Expr& e);
+  virtual Expr MutateBinary(const BinaryNode* op, const Expr& e);
+  virtual Expr MutateNot(const NotNode* op, const Expr& e);
+  virtual Expr MutateSelect(const SelectNode* op, const Expr& e);
+  virtual Expr MutateLoad(const LoadNode* op, const Expr& e);
+  virtual Expr MutateRamp(const RampNode* op, const Expr& e);
+  virtual Expr MutateBroadcast(const BroadcastNode* op, const Expr& e);
+  virtual Expr MutateCall(const CallNode* op, const Expr& e);
+  virtual Expr MutateLet(const LetNode* op, const Expr& e);
+  virtual Expr MutateReduce(const ReduceNode* op, const Expr& e);
+  virtual Expr MutateTensorRead(const TensorReadNode* op, const Expr& e);
+};
+
+// Rewrites statements (and contained expressions) bottom-up.
+class StmtMutator : public ExprMutator {
+ public:
+  virtual Stmt MutateStmt(const Stmt& s);
+
+ protected:
+  virtual Stmt MutateLetStmt(const LetStmtNode* op, const Stmt& s);
+  virtual Stmt MutateAttrStmt(const AttrStmtNode* op, const Stmt& s);
+  virtual Stmt MutateAssert(const AssertStmtNode* op, const Stmt& s);
+  virtual Stmt MutateStore(const StoreNode* op, const Stmt& s);
+  virtual Stmt MutateAllocate(const AllocateNode* op, const Stmt& s);
+  virtual Stmt MutateFor(const ForNode* op, const Stmt& s);
+  virtual Stmt MutateIfThenElse(const IfThenElseNode* op, const Stmt& s);
+  virtual Stmt MutateSeq(const SeqStmtNode* op, const Stmt& s);
+  virtual Stmt MutateEvaluate(const EvaluateNode* op, const Stmt& s);
+};
+
+// Calls `fvisit` on every sub-expression of `e` in post order.
+void PostOrderVisit(const Expr& e, const std::function<void(const Expr&)>& fvisit);
+// Calls `fvisit` on every statement in `s` in post order (expressions not included).
+void PostOrderVisitStmt(const Stmt& s, const std::function<void(const Stmt&)>& fvisit);
+
+}  // namespace tvmcpp
+
+#endif  // SRC_IR_FUNCTOR_H_

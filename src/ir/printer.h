@@ -1,0 +1,21 @@
+// Human-readable text printer for the IR, used in tests, debugging and docs.
+#ifndef SRC_IR_PRINTER_H_
+#define SRC_IR_PRINTER_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/ir/expr.h"
+#include "src/ir/stmt.h"
+
+namespace tvmcpp {
+
+std::string ToString(const Expr& e);
+std::string ToString(const Stmt& s);
+
+std::ostream& operator<<(std::ostream& os, const Expr& e);
+std::ostream& operator<<(std::ostream& os, const Stmt& s);
+
+}  // namespace tvmcpp
+
+#endif  // SRC_IR_PRINTER_H_

@@ -1,0 +1,89 @@
+#include "src/ir/stmt.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tvmcpp {
+
+Stmt let_stmt(Var v, Expr value, Stmt body) {
+  return std::make_shared<LetStmtNode>(std::move(v), std::move(value), std::move(body));
+}
+
+Stmt attr_stmt(const std::string& key, Expr value, Stmt body) {
+  return std::make_shared<AttrStmtNode>(key, std::move(value), std::move(body));
+}
+
+Stmt assert_stmt(Expr cond, const std::string& message, Stmt body) {
+  return std::make_shared<AssertStmtNode>(std::move(cond), message, std::move(body));
+}
+
+Stmt store(Var buf, Expr value, Expr index, Expr predicate) {
+  return std::make_shared<StoreNode>(std::move(buf), std::move(value), std::move(index),
+                                     std::move(predicate));
+}
+
+Stmt allocate(Var buf, DataType t, std::vector<Expr> extents, const std::string& scope,
+              Stmt body) {
+  return std::make_shared<AllocateNode>(std::move(buf), t, std::move(extents), scope,
+                                        std::move(body));
+}
+
+Stmt for_stmt(Var loop_var, Expr min, Expr extent, Stmt body, ForType for_type,
+              const std::string& thread_tag) {
+  return std::make_shared<ForNode>(std::move(loop_var), std::move(min), std::move(extent),
+                                   for_type, thread_tag, std::move(body));
+}
+
+Stmt if_then_else_stmt(Expr cond, Stmt then_case, Stmt else_case) {
+  return std::make_shared<IfThenElseNode>(std::move(cond), std::move(then_case),
+                                          std::move(else_case));
+}
+
+namespace {
+
+bool IsNop(const Stmt& s) {
+  if (s == nullptr) {
+    return true;
+  }
+  if (s->kind == StmtKind::kEvaluate) {
+    const auto* e = static_cast<const EvaluateNode*>(s.get());
+    int64_t v;
+    return is_const_int(e->value, &v);
+  }
+  if (s->kind == StmtKind::kSeq) {
+    return static_cast<const SeqStmtNode*>(s.get())->seq.empty();
+  }
+  return false;
+}
+
+}  // namespace
+
+Stmt seq(std::vector<Stmt> stmts) {
+  std::vector<Stmt> flat;
+  for (Stmt& s : stmts) {
+    if (IsNop(s)) {
+      continue;
+    }
+    if (s->kind == StmtKind::kSeq) {
+      const auto* sn = static_cast<const SeqStmtNode*>(s.get());
+      flat.insert(flat.end(), sn->seq.begin(), sn->seq.end());
+    } else {
+      flat.push_back(std::move(s));
+    }
+  }
+  if (flat.empty()) {
+    return nop();
+  }
+  if (flat.size() == 1) {
+    return flat[0];
+  }
+  return std::make_shared<SeqStmtNode>(std::move(flat));
+}
+
+Stmt evaluate(Expr value) { return std::make_shared<EvaluateNode>(std::move(value)); }
+
+Stmt nop() { return evaluate(make_int(0)); }
+
+}  // namespace tvmcpp

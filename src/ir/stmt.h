@@ -1,0 +1,195 @@
+// The low-level statement IR: the loop-program AST that schedules lower into and
+// that back-ends (interpreter, machine models, VDLA codegen) consume.
+#ifndef SRC_IR_STMT_H_
+#define SRC_IR_STMT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ir/expr.h"
+
+namespace tvmcpp {
+
+enum class StmtKind : uint8_t {
+  kLetStmt,
+  kAttrStmt,
+  kAssert,
+  kStore,
+  kAllocate,
+  kFor,
+  kIfThenElse,
+  kSeq,
+  kEvaluate,
+};
+
+class StmtNode {
+ public:
+  explicit StmtNode(StmtKind kind) : kind(kind) {}
+  virtual ~StmtNode() = default;
+  const StmtKind kind;
+};
+
+using Stmt = std::shared_ptr<const StmtNode>;
+
+class LetStmtNode : public StmtNode {
+ public:
+  LetStmtNode(Var var, Expr value, Stmt body)
+      : StmtNode(StmtKind::kLetStmt),
+        var(std::move(var)),
+        value(std::move(value)),
+        body(std::move(body)) {}
+  const Var var;
+  const Expr value;
+  const Stmt body;
+};
+
+// Generic annotation wrapper, e.g. {key="thread_extent", value=N} around a thread-bound
+// loop body, {key="storage_scope", value=StringImm} around allocations, or
+// {key="pragma_tensorize", ...}.
+class AttrStmtNode : public StmtNode {
+ public:
+  AttrStmtNode(std::string key, Expr value, Stmt body)
+      : StmtNode(StmtKind::kAttrStmt),
+        key(std::move(key)),
+        value(std::move(value)),
+        body(std::move(body)) {}
+  const std::string key;
+  const Expr value;
+  const Stmt body;
+};
+
+class AssertStmtNode : public StmtNode {
+ public:
+  AssertStmtNode(Expr condition, std::string message, Stmt body)
+      : StmtNode(StmtKind::kAssert),
+        condition(std::move(condition)),
+        message(std::move(message)),
+        body(std::move(body)) {}
+  const Expr condition;
+  const std::string message;
+  const Stmt body;
+};
+
+// Store `value` (possibly a vector) into flat buffer `buffer_var` at `index`.
+class StoreNode : public StmtNode {
+ public:
+  StoreNode(Var buffer_var, Expr value, Expr index, Expr predicate)
+      : StmtNode(StmtKind::kStore),
+        buffer_var(std::move(buffer_var)),
+        value(std::move(value)),
+        index(std::move(index)),
+        predicate(std::move(predicate)) {}
+  const Var buffer_var;
+  const Expr value;
+  const Expr index;
+  const Expr predicate;  // may be null
+};
+
+// Allocation of a flat buffer in a given storage scope: "global", "shared", "local",
+// or an accelerator special scope such as "vdla.acc_buffer" (Section 4.2 memory scopes).
+class AllocateNode : public StmtNode {
+ public:
+  AllocateNode(Var buffer_var, DataType dtype, std::vector<Expr> extents, std::string scope,
+               Stmt body)
+      : StmtNode(StmtKind::kAllocate),
+        buffer_var(std::move(buffer_var)),
+        dtype(dtype),
+        extents(std::move(extents)),
+        scope(std::move(scope)),
+        body(std::move(body)) {}
+  const Var buffer_var;
+  const DataType dtype;
+  const std::vector<Expr> extents;
+  const std::string scope;
+  const Stmt body;
+};
+
+// Loop kinds. kThreadBinding loops do not execute sequentially on real hardware; the
+// interpreter still iterates them to preserve semantics while machine models account
+// for the parallelism.
+enum class ForType : uint8_t {
+  kSerial,
+  kParallel,
+  kVectorized,
+  kUnrolled,
+  kVThread,
+  kThreadBinding,
+};
+
+class ForNode : public StmtNode {
+ public:
+  ForNode(Var loop_var, Expr min, Expr extent, ForType for_type, std::string thread_tag,
+          Stmt body)
+      : StmtNode(StmtKind::kFor),
+        loop_var(std::move(loop_var)),
+        min(std::move(min)),
+        extent(std::move(extent)),
+        for_type(for_type),
+        thread_tag(std::move(thread_tag)),
+        body(std::move(body)) {}
+  const Var loop_var;
+  const Expr min;
+  const Expr extent;
+  const ForType for_type;
+  const std::string thread_tag;  // non-empty iff for_type is kThreadBinding
+  const Stmt body;
+};
+
+class IfThenElseNode : public StmtNode {
+ public:
+  IfThenElseNode(Expr condition, Stmt then_case, Stmt else_case)
+      : StmtNode(StmtKind::kIfThenElse),
+        condition(std::move(condition)),
+        then_case(std::move(then_case)),
+        else_case(std::move(else_case)) {}
+  const Expr condition;
+  const Stmt then_case;
+  const Stmt else_case;  // may be null
+};
+
+class SeqStmtNode : public StmtNode {
+ public:
+  explicit SeqStmtNode(std::vector<Stmt> seq) : StmtNode(StmtKind::kSeq), seq(std::move(seq)) {}
+  const std::vector<Stmt> seq;
+};
+
+class EvaluateNode : public StmtNode {
+ public:
+  explicit EvaluateNode(Expr value) : StmtNode(StmtKind::kEvaluate), value(std::move(value)) {}
+  const Expr value;
+};
+
+// Constructor helpers.
+Stmt let_stmt(Var v, Expr value, Stmt body);
+Stmt attr_stmt(const std::string& key, Expr value, Stmt body);
+Stmt assert_stmt(Expr cond, const std::string& message, Stmt body);
+Stmt store(Var buf, Expr value, Expr index, Expr predicate = nullptr);
+Stmt allocate(Var buf, DataType t, std::vector<Expr> extents, const std::string& scope, Stmt body);
+Stmt for_stmt(Var loop_var, Expr min, Expr extent, Stmt body,
+              ForType for_type = ForType::kSerial, const std::string& thread_tag = "");
+Stmt if_then_else_stmt(Expr cond, Stmt then_case, Stmt else_case = nullptr);
+// Flattens nested Seq nodes and drops no-ops; returns the single stmt when possible.
+Stmt seq(std::vector<Stmt> stmts);
+Stmt evaluate(Expr value);
+Stmt nop();
+
+// Well-known intrinsic names used in Evaluate(Call(...)) statements.
+inline constexpr const char* kSyncIntrin = "tvm_storage_sync";       // GPU barrier
+inline constexpr const char* kPushDepIntrin = "vdla_push_dep";       // DAE token enqueue
+inline constexpr const char* kPopDepIntrin = "vdla_pop_dep";         // DAE token dequeue
+inline constexpr const char* kDmaCopyIntrin = "vdla_dma_copy2d";
+inline constexpr const char* kGemmIntrin = "vdla_gemm";
+inline constexpr const char* kFillZeroIntrin = "vdla_fill_zero";
+inline constexpr const char* kAluIntrin = "vdla_alu";
+
+template <typename T>
+std::shared_ptr<const T> as(const Stmt& s) {
+  return std::static_pointer_cast<const T>(s);
+}
+
+}  // namespace tvmcpp
+
+#endif  // SRC_IR_STMT_H_

@@ -1,0 +1,27 @@
+// Variable substitution and structural equality over the IR.
+#ifndef SRC_IR_SUBSTITUTE_H_
+#define SRC_IR_SUBSTITUTE_H_
+
+#include <unordered_map>
+
+#include "src/ir/expr.h"
+#include "src/ir/stmt.h"
+
+namespace tvmcpp {
+
+// Map from variable identity to replacement expression.
+using VarMap = std::unordered_map<const VarNode*, Expr>;
+
+// Replaces free occurrences of the mapped variables. Does not simplify.
+Expr Substitute(const Expr& e, const VarMap& vmap);
+Stmt Substitute(const Stmt& s, const VarMap& vmap);
+
+// Structural (alpha-insensitive for Var: pointer identity) equality.
+bool StructuralEqual(const Expr& a, const Expr& b);
+
+// True if variable `v` occurs in `e`.
+bool UsesVar(const Expr& e, const VarNode* v);
+
+}  // namespace tvmcpp
+
+#endif  // SRC_IR_SUBSTITUTE_H_

@@ -1,0 +1,136 @@
+#include "src/lower/intset.h"
+
+#include <utility>
+
+#include "src/ir/substitute.h"
+
+namespace tvmcpp {
+
+bool IntSet::StructuralEqualExpr() const { return StructuralEqual(min, max); }
+
+namespace {
+
+IntSet Combine(ExprKind kind, const IntSet& a, const IntSet& b) {
+  if (!a.defined() || !b.defined()) {
+    return IntSet::Everything();
+  }
+  switch (kind) {
+    case ExprKind::kAdd:
+      return IntSet{Simplify(a.min + b.min), Simplify(a.max + b.max)};
+    case ExprKind::kSub:
+      return IntSet{Simplify(a.min - b.max), Simplify(a.max - b.min)};
+    case ExprKind::kMul: {
+      // Scale by a constant point; the general case falls back to Everything.
+      int64_t c;
+      const IntSet* range = &a;
+      const IntSet* scale = &b;
+      if (!(scale->IsPoint() && is_const_int(scale->min, &c))) {
+        range = &b;
+        scale = &a;
+      }
+      if (scale->IsPoint() && is_const_int(scale->min, &c)) {
+        if (c >= 0) {
+          return IntSet{Simplify(range->min * c), Simplify(range->max * c)};
+        }
+        return IntSet{Simplify(range->max * c), Simplify(range->min * c)};
+      }
+      if (a.IsPoint() && b.IsPoint()) {
+        return IntSet::Point(Simplify(a.min * b.min));
+      }
+      return IntSet::Everything();
+    }
+    case ExprKind::kDiv: {
+      int64_t c;
+      if (b.IsPoint() && is_const_int(b.min, &c) && c > 0) {
+        return IntSet{Simplify(a.min / c), Simplify(a.max / c)};
+      }
+      return IntSet::Everything();
+    }
+    case ExprKind::kMod: {
+      int64_t c;
+      if (b.IsPoint() && is_const_int(b.min, &c) && c > 0) {
+        if (a.IsPoint()) {
+          return IntSet::Point(Simplify(a.min % c));
+        }
+        // If the whole range fits in one modulo period, keep it; otherwise [0, c-1].
+        Expr span = Simplify(a.max - a.min);
+        int64_t span_v;
+        if (is_const_int(span, &span_v) && span_v < c) {
+          Expr lo = Simplify(a.min % c);
+          Expr hi = Simplify(a.max % c);
+          // Only exact when the range does not wrap; be conservative otherwise.
+          Analyzer ana;
+          if (ana.CanProve(le(lo, hi))) {
+            return IntSet{lo, hi};
+          }
+        }
+        return IntSet{make_int(0), make_int(c - 1)};
+      }
+      return IntSet::Everything();
+    }
+    case ExprKind::kMin:
+      return IntSet{Simplify(min(a.min, b.min)), Simplify(min(a.max, b.max))};
+    case ExprKind::kMax:
+      return IntSet{Simplify(max(a.min, b.min)), Simplify(max(a.max, b.max))};
+    default:
+      return IntSet::Everything();
+  }
+}
+
+}  // namespace
+
+IntSet UnionIntSet(const IntSet& a, const IntSet& b) {
+  if (!a.defined()) {
+    return b;
+  }
+  if (!b.defined()) {
+    return a;
+  }
+  return IntSet{Simplify(min(a.min, b.min)), Simplify(max(a.max, b.max))};
+}
+
+IntSet EvalIntSet(const Expr& e, const DomainMap& dom) {
+  if (e == nullptr) {
+    return IntSet::Everything();
+  }
+  switch (e->kind) {
+    case ExprKind::kIntImm:
+      return IntSet::Point(e);
+    case ExprKind::kVar: {
+      auto it = dom.find(static_cast<const VarNode*>(e.get()));
+      if (it != dom.end()) {
+        return it->second;
+      }
+      return IntSet::Point(e);  // free symbol: treated as a fixed point
+    }
+    case ExprKind::kCast: {
+      const auto* n = static_cast<const CastNode*>(e.get());
+      return EvalIntSet(n->value, dom);
+    }
+    case ExprKind::kSelect: {
+      const auto* n = static_cast<const SelectNode*>(e.get());
+      return UnionIntSet(EvalIntSet(n->true_value, dom), EvalIntSet(n->false_value, dom));
+    }
+    case ExprKind::kCall: {
+      const auto* n = static_cast<const CallNode*>(e.get());
+      if (n->name == "if_then_else" && n->args.size() == 3) {
+        return UnionIntSet(EvalIntSet(n->args[1], dom), EvalIntSet(n->args[2], dom));
+      }
+      return IntSet::Everything();
+    }
+    case ExprKind::kAdd:
+    case ExprKind::kSub:
+    case ExprKind::kMul:
+    case ExprKind::kDiv:
+    case ExprKind::kMod:
+    case ExprKind::kMin:
+    case ExprKind::kMax: {
+      const auto* n = static_cast<const BinaryNode*>(e.get());
+      return Combine(e->kind, EvalIntSet(n->a, dom), EvalIntSet(n->b, dom));
+    }
+    default:
+      return IntSet::Everything();
+  }
+}
+
+}  // namespace tvmcpp

@@ -1,0 +1,46 @@
+// Symbolic interval sets used by bound inference (the paper's Section 4 lowering).
+//
+// An IntSet is a closed interval [min, max] of integer-valued expressions. Evaluating an
+// index expression over a domain map (loop var -> IntSet) yields the region of a tensor
+// touched by a consumer, which determines the extents of compute_at-attached stages and
+// cache buffers.
+#ifndef SRC_LOWER_INTSET_H_
+#define SRC_LOWER_INTSET_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/expr.h"
+#include "src/ir/simplify.h"
+
+namespace tvmcpp {
+
+struct IntSet {
+  Expr min;  // inclusive
+  Expr max;  // inclusive
+
+  bool defined() const { return min != nullptr && max != nullptr; }
+  bool IsPoint() const { return defined() && StructuralEqualExpr(); }
+
+  static IntSet Point(Expr e) { return IntSet{e, e}; }
+  static IntSet FromMinExtent(const Expr& min, const Expr& extent) {
+    return IntSet{min, Simplify(min + extent - 1)};
+  }
+  static IntSet Everything() { return IntSet{nullptr, nullptr}; }
+
+ private:
+  bool StructuralEqualExpr() const;
+};
+
+using DomainMap = std::unordered_map<const VarNode*, IntSet>;
+
+// Evaluates the interval of `e` when each mapped variable ranges over its IntSet;
+// unmapped variables are treated as symbolic points.
+IntSet EvalIntSet(const Expr& e, const DomainMap& dom);
+
+// Union of two intervals.
+IntSet UnionIntSet(const IntSet& a, const IntSet& b);
+
+}  // namespace tvmcpp
+
+#endif  // SRC_LOWER_INTSET_H_

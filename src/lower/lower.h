@@ -1,0 +1,68 @@
+// Schedule lowering: turns a Schedule into a low-level loop program (Figure 6's
+// "code lowering" step).
+//
+// The pipeline:
+//   1. inline expansion of compute_inline stages
+//   2. bound inference: loop extents from root domains + split/fuse relations; regions of
+//      compute_at-attached stages via interval analysis of consumer reads
+//   3. loop-nest construction with storage flattening (TensorRead -> flat Load),
+//      reduction init/update splitting, thread-binding reuse, memory-scope allocation,
+//      barrier injection for shared scopes, and tensorization (Section 4.3)
+//   4. simplification
+//
+// Post passes (target dependent): UnrollLoops, InjectVirtualThreads (Section 4.4).
+#ifndef SRC_LOWER_LOWER_H_
+#define SRC_LOWER_LOWER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/stmt.h"
+#include "src/schedule/schedule.h"
+#include "src/te/tensor.h"
+
+namespace tvmcpp {
+
+// An external buffer argument of a lowered function.
+struct BufferArg {
+  Var var;                     // handle variable appearing in Load/Store
+  DataType dtype;
+  std::vector<int64_t> shape;  // concrete shape (shape-specialized, Section 5)
+  std::string name;
+};
+
+// A lowered function: loop program plus its external buffer signature.
+struct LoweredFunc {
+  std::string name;
+  std::vector<BufferArg> args;
+  Stmt body;
+};
+
+// Lowers `sch` into a function over `args` (placeholders and outputs, in call order).
+// The schedule is consumed: operation bodies may be rewritten in place.
+LoweredFunc Lower(const Schedule& sch, const std::vector<Tensor>& args,
+                  const std::string& name);
+
+// Expands kUnrolled loops with constant extent <= max_extent into straight-line code.
+Stmt UnrollLoops(const Stmt& s, int64_t max_extent = 16);
+
+// Moves "shared"-scope allocations above the thread-binding loops (shared buffers are
+// per-block, not per-thread). Required for correct serial interpretation and mirrors
+// real GPU codegen, which declares shared memory at kernel scope.
+Stmt HoistSharedAllocations(const Stmt& s);
+
+// Rewrites threadIdx-bound loop nests into block-synchronous serial form: per-thread
+// buffers are privatized (expanded by the thread-grid size) and the thread loops are
+// re-introduced around each barrier-delimited phase (loop fission at tvm_storage_sync).
+// This gives a serial program with exactly the barrier semantics a GPU provides, so the
+// interpreter can execute cooperative schedules correctly.
+Stmt SerializeThreadBlocks(const Stmt& s);
+
+// Lowers kVThread loops: duplicates per-vthread buffers and interleaves the copies into a
+// single statement stream (Figure 8). Must run after Lower().
+Stmt InjectVirtualThreads(const Stmt& s);
+
+}  // namespace tvmcpp
+
+#endif  // SRC_LOWER_LOWER_H_

@@ -1,0 +1,47 @@
+// Ultra low-precision operators (Section 6.2): bit-serial convolution for sub-8-bit
+// fixed-point types, built on a bit-packed popcount matrix-vector microkernel exposed to
+// the scheduler as an ARM tensor intrinsic.
+//
+// A W-bit activation x A 1-bit weight product decomposes into bit-planes:
+//   dot(x, w) = sum_b 2^b * popcount(bits_b(x) & w+) - ... (signed handling folded into
+//   two popcounts). We implement the unsigned-activation/bipolar-weight variant used by
+//   the paper's 2-bit activation x 1-bit weight ResNet experiments.
+#ifndef SRC_LOWP_LOWP_H_
+#define SRC_LOWP_LOWP_H_
+
+#include <string>
+
+#include "src/schedule/schedule.h"
+#include "src/te/tensor.h"
+#include "src/topi/schedules.h"
+
+namespace tvmcpp {
+namespace lowp {
+
+// Bit-serial conv2d over NCHW int8 data holding `activation_bits`-wide values and
+// bipolar 1-bit weights stored as {0,1}. Accumulates in int32.
+// The compute decomposes into per-bit-plane multiply-accumulate so the tensorizer can
+// map the inner microkernel onto `arm_bitserial_gemv`.
+Tensor BitserialConv2d(const Tensor& data, const Tensor& kernel, int stride, int pad,
+                       int activation_bits, const std::string& name = "bitserial_conv2d");
+
+// Declares the ARM bit-serial matrix-vector tensor intrinsic covering an
+// [oc_block x k_block] block (accumulating into progressively wider types, per the
+// paper's microkernel description).
+TensorIntrinPtr DeclArmBitserialGemv(int oc_block, int k_block);
+
+// Schedule space + application for bit-serial conv on ARM CPUs.
+// Knobs: tile_oc, tile_ow, parallel (multi-threading on/off), tensorize.
+topi::ConfigSpace BitserialScheduleSpace(const topi::OpWorkload& wl);
+Schedule ApplyBitserialSchedule(const topi::OpWorkload& wl, const Tensor& output,
+                                const topi::Config& config);
+
+// Estimated seconds of a bit-serial conv on an ARM target given threads (cost model
+// shortcut used by the Figure 18 bench).
+double EstimateBitserialSeconds(const topi::OpWorkload& wl, int activation_bits,
+                                int weight_bits, int threads, bool tvm_optimized);
+
+}  // namespace lowp
+}  // namespace tvmcpp
+
+#endif  // SRC_LOWP_LOWP_H_

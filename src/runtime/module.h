@@ -1,0 +1,61 @@
+// Deployable modules (Section 2): a bag of lowered functions that can be executed on the
+// reference interpreter and costed on a target machine model.
+#ifndef SRC_RUNTIME_MODULE_H_
+#define SRC_RUNTIME_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/lower/lower.h"
+#include "src/runtime/ndarray.h"
+#include "src/runtime/target.h"
+
+namespace tvmcpp {
+
+class Module {
+ public:
+  explicit Module(Target target) : target_(std::move(target)) {}
+
+  void Add(LoweredFunc func) { funcs_[func.name] = std::move(func); }
+
+  bool Has(const std::string& name) const { return funcs_.count(name) > 0; }
+
+  const LoweredFunc& Get(const std::string& name) const {
+    auto it = funcs_.find(name);
+    CHECK(it != funcs_.end()) << "module has no function " << name;
+    return it->second;
+  }
+
+  const Target& target() const { return target_; }
+
+  // Executes a function on host buffers via the reference interpreter.
+  void Run(const std::string& name, const std::vector<NDArray>& args) const {
+    const LoweredFunc& f = Get(name);
+    std::vector<BufferBinding> bindings;
+    bindings.reserve(args.size());
+    for (const NDArray& a : args) {
+      bindings.push_back(a.Binding());
+    }
+    RunLowered(f, bindings);
+  }
+
+  std::vector<std::string> FunctionNames() const {
+    std::vector<std::string> names;
+    names.reserve(funcs_.size());
+    for (const auto& [name, f] : funcs_) {
+      names.push_back(name);
+    }
+    return names;
+  }
+
+ private:
+  Target target_;
+  std::unordered_map<std::string, LoweredFunc> funcs_;
+};
+
+}  // namespace tvmcpp
+
+#endif  // SRC_RUNTIME_MODULE_H_

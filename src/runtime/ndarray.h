@@ -1,0 +1,107 @@
+// NDArray: the runtime tensor container (the paper's tvm.nd array).
+//
+// Data is stored widened for interpretation: float16 as float32, sub-byte ints as int8
+// (see src/interp). Machine models account for true on-device byte widths separately.
+#ifndef SRC_RUNTIME_NDARRAY_H_
+#define SRC_RUNTIME_NDARRAY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/interp/interp.h"
+#include "src/ir/dtype.h"
+#include "src/support/random.h"
+
+namespace tvmcpp {
+
+class NDArray {
+ public:
+  NDArray() = default;
+
+  static NDArray Empty(std::vector<int64_t> shape, DataType dtype = DataType::Float32()) {
+    NDArray a;
+    a.shape_ = std::move(shape);
+    a.dtype_ = dtype;
+    int64_t n = a.NumElements();
+    a.data_ = std::make_shared<std::vector<char>>(
+        static_cast<size_t>(n * InterpElementBytes(dtype)), 0);
+    return a;
+  }
+
+  // Uniform values in [-1, 1) (float) or [0, 2^min(bits,7)) (int), deterministic by seed.
+  static NDArray Random(std::vector<int64_t> shape, DataType dtype, uint64_t seed) {
+    NDArray a = Empty(std::move(shape), dtype);
+    Rng rng(seed);
+    int64_t n = a.NumElements();
+    if (dtype.is_float()) {
+      float* p = a.Data<float>();
+      for (int64_t i = 0; i < n; ++i) {
+        p[i] = static_cast<float>(rng.UniformReal() * 2.0 - 1.0);
+      }
+    } else if (InterpElementBytes(dtype) == 1) {
+      int8_t* p = a.Data<int8_t>();
+      int64_t hi = int64_t{1} << std::min(dtype.bits(), 7);
+      for (int64_t i = 0; i < n; ++i) {
+        p[i] = static_cast<int8_t>(rng.Uniform(static_cast<uint64_t>(hi)));
+      }
+    } else {
+      int32_t* p = a.Data<int32_t>();
+      for (int64_t i = 0; i < n; ++i) {
+        p[i] = static_cast<int32_t>(rng.Uniform(100));
+      }
+    }
+    return a;
+  }
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  DataType dtype() const { return dtype_; }
+  bool defined() const { return data_ != nullptr; }
+
+  int64_t NumElements() const {
+    int64_t n = 1;
+    for (int64_t d : shape_) {
+      n *= d;
+    }
+    return n;
+  }
+
+  template <typename T>
+  T* Data() {
+    return reinterpret_cast<T*>(data_->data());
+  }
+  template <typename T>
+  const T* Data() const {
+    return reinterpret_cast<const T*>(data_->data());
+  }
+
+  BufferBinding Binding() const {
+    return BufferBinding{data_ ? const_cast<char*>(data_->data()) : nullptr, dtype_,
+                         NumElements()};
+  }
+
+  // Deep copy.
+  NDArray Copy() const {
+    NDArray a;
+    a.shape_ = shape_;
+    a.dtype_ = dtype_;
+    a.data_ = std::make_shared<std::vector<char>>(*data_);
+    return a;
+  }
+
+  void CopyFrom(const NDArray& other) {
+    CHECK_EQ(NumElements(), other.NumElements());
+    std::memcpy(data_->data(), other.data_->data(), data_->size());
+  }
+
+ private:
+  std::shared_ptr<std::vector<char>> data_;
+  std::vector<int64_t> shape_;
+  DataType dtype_;
+};
+
+}  // namespace tvmcpp
+
+#endif  // SRC_RUNTIME_NDARRAY_H_

@@ -1,0 +1,107 @@
+// Simulated RPC-based distributed device pool (Section 5.4).
+//
+// The paper's tracker + device cluster is modeled as a pool of device workers, each
+// owning one simulated device of a given target. Clients submit measurement requests
+// (a compiled function + run config); workers execute them with a caller-provided
+// measure function and per-request queueing/transfer latency, returning profiled costs.
+// The same infrastructure serves both single-operator tuning and end-to-end inference,
+// as in the paper.
+#ifndef SRC_RUNTIME_RPC_H_
+#define SRC_RUNTIME_RPC_H_
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/target.h"
+#include "src/runtime/threadpool.h"
+
+namespace tvmcpp {
+
+// A measurement job: opaque payload evaluated by the device-side measure function.
+struct MeasureRequest {
+  std::string func_name;
+  const void* payload = nullptr;  // tuner-defined (e.g. a schedule config)
+  int repeat = 3;
+};
+
+struct MeasureResult {
+  double seconds = 0;    // measured (simulated) runtime
+  bool ok = true;
+  std::string error;
+  double queue_seconds = 0;  // RPC + queueing overhead incurred
+};
+
+// One device host in the cluster.
+class DeviceWorker {
+ public:
+  using MeasureFn = std::function<MeasureResult(const MeasureRequest&)>;
+
+  DeviceWorker(Target target, MeasureFn fn, double rpc_overhead_s = 1e-4)
+      : target_(std::move(target)), fn_(std::move(fn)), rpc_overhead_s_(rpc_overhead_s) {}
+
+  MeasureResult Execute(const MeasureRequest& req) const {
+    MeasureResult r = fn_(req);
+    r.queue_seconds += rpc_overhead_s_;
+    return r;
+  }
+
+  const Target& target() const { return target_; }
+
+ private:
+  Target target_;
+  MeasureFn fn_;
+  double rpc_overhead_s_;
+};
+
+// Tracker + pool: dispatches requests to workers of the requested target type.
+class DevicePool {
+ public:
+  explicit DevicePool(int num_workers) : pool_(num_workers) {}
+
+  void Register(DeviceWorker worker) { workers_.push_back(std::move(worker)); }
+
+  // Submits a batch; returns results in order. Requests run concurrently across the pool
+  // (fine-grained sharing among jobs, as in the paper).
+  std::vector<MeasureResult> MeasureBatch(const std::vector<MeasureRequest>& requests,
+                                          const std::string& target_name) {
+    std::vector<const DeviceWorker*> eligible;
+    for (const DeviceWorker& w : workers_) {
+      if (w.target().name == target_name) {
+        eligible.push_back(&w);
+      }
+    }
+    if (eligible.empty()) {
+      std::vector<MeasureResult> results(requests.size());
+      for (MeasureResult& r : results) {
+        r.ok = false;
+        r.error = "no device of target " + target_name;
+      }
+      return results;
+    }
+    std::vector<std::future<MeasureResult>> futures;
+    futures.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const DeviceWorker* w = eligible[i % eligible.size()];
+      const MeasureRequest& req = requests[i];
+      futures.push_back(pool_.Submit([w, req] { return w->Execute(req); }));
+    }
+    std::vector<MeasureResult> results;
+    results.reserve(requests.size());
+    for (auto& f : futures) {
+      results.push_back(f.get());
+    }
+    return results;
+  }
+
+ private:
+  ThreadPool pool_;
+  std::vector<DeviceWorker> workers_;
+};
+
+}  // namespace tvmcpp
+
+#endif  // SRC_RUNTIME_RPC_H_

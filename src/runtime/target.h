@@ -1,0 +1,118 @@
+// Compilation targets: named hardware back-ends with the machine parameters the
+// simulators and schedule templates consume.
+//
+// These stand in for the paper's testbeds (Section 6): an NVIDIA Titan X, an ARM Cortex
+// A53, an ARM Mali-T860MP4, and the VDLA FPGA accelerator (see DESIGN.md for the
+// substitution rationale).
+#ifndef SRC_RUNTIME_TARGET_H_
+#define SRC_RUNTIME_TARGET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tvmcpp {
+
+enum class TargetKind { kCpu, kGpu, kAccel };
+
+// Machine description used by the performance models.
+struct Target {
+  std::string name;       // "cuda", "arm_cpu", "mali", "vdla", "llvm" (host)
+  TargetKind kind = TargetKind::kCpu;
+
+  // Common
+  double clock_ghz = 1.0;
+
+  // CPU
+  int num_cores = 1;
+  int vector_lanes = 4;        // SIMD width in fp32 lanes
+  int64_t l1_bytes = 32 << 10;
+  int64_t l2_bytes = 512 << 10;
+  double dram_gbps = 10.0;
+  double flops_per_cycle_per_core = 8.0;  // fused multiply-add lanes
+
+  // GPU
+  int num_sms = 1;
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  int64_t shared_mem_bytes = 48 << 10;
+  double flops_per_cycle_per_sm = 256.0;
+
+  // Accelerator (VDLA, Section 6.4)
+  int gemm_rows = 16;
+  int gemm_cols = 16;
+  int64_t inp_buffer_bytes = 32 << 10;
+  int64_t wgt_buffer_bytes = 32 << 10;
+  int64_t acc_buffer_bytes = 128 << 10;
+  double dram_latency_cycles = 200.0;
+
+  static Target TitanX() {
+    Target t;
+    t.name = "cuda";
+    t.kind = TargetKind::kGpu;
+    t.clock_ghz = 1.0;
+    t.num_sms = 24;
+    t.shared_mem_bytes = 48 << 10;
+    t.flops_per_cycle_per_sm = 256.0;  // ~6.1 TFLOPS fp32
+    t.dram_gbps = 336.0;
+    t.l2_bytes = 3 << 20;
+    return t;
+  }
+
+  static Target ArmA53() {
+    Target t;
+    t.name = "arm_cpu";
+    t.kind = TargetKind::kCpu;
+    t.clock_ghz = 1.2;
+    t.num_cores = 4;
+    t.vector_lanes = 4;  // NEON 128-bit fp32
+    t.l1_bytes = 32 << 10;
+    t.l2_bytes = 512 << 10;
+    t.dram_gbps = 6.4;
+    t.flops_per_cycle_per_core = 4.0;
+    return t;
+  }
+
+  static Target MaliT860() {
+    Target t;
+    t.name = "mali";
+    t.kind = TargetKind::kGpu;
+    t.clock_ghz = 0.65;
+    t.num_sms = 4;                     // 4 shader cores
+    t.shared_mem_bytes = 0;            // no programmer-visible shared memory win
+    t.flops_per_cycle_per_sm = 17.3;   // ~45 GFLOPS fp32; fp16 double rate
+    t.dram_gbps = 12.8;
+    t.warp_size = 4;
+    t.l2_bytes = 1 << 20;
+    return t;
+  }
+
+  static Target Vdla() {
+    Target t;
+    t.name = "vdla";
+    t.kind = TargetKind::kAccel;
+    t.clock_ghz = 0.2;  // 200 MHz (Section 6.4)
+    t.gemm_rows = 16;
+    t.gemm_cols = 16;
+    t.inp_buffer_bytes = 32 << 10;
+    t.wgt_buffer_bytes = 32 << 10;
+    t.acc_buffer_bytes = 128 << 10;
+    t.dram_gbps = 4.0;  // DDR3 burst bandwidth on the PYNQ SoC
+    t.dram_latency_cycles = 200.0;
+    return t;
+  }
+
+  // Host CPU used for the PYNQ ARM Cortex A9 in the FPGA experiments.
+  static Target ArmA9() {
+    Target t = ArmA53();
+    t.name = "arm_a9";
+    t.clock_ghz = 0.667;
+    t.num_cores = 2;
+    t.flops_per_cycle_per_core = 2.0;
+    t.dram_gbps = 2.0;
+    return t;
+  }
+};
+
+}  // namespace tvmcpp
+
+#endif  // SRC_RUNTIME_TARGET_H_

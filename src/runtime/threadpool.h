@@ -1,0 +1,81 @@
+// A small fixed-size thread pool, used by the simulated RPC device cluster (Section 5.4)
+// to run measurement jobs concurrently.
+#ifndef SRC_RUNTIME_THREADPOOL_H_
+#define SRC_RUNTIME_THREADPOOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tvmcpp {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) {
+      t.join();
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  template <typename F>
+  auto Submit(F&& f) -> std::future<decltype(f())> {
+    using R = decltype(f());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) {
+          return;
+        }
+        job = std::move(queue_.front());
+        queue_.pop();
+      }
+      job();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace tvmcpp
+
+#endif  // SRC_RUNTIME_THREADPOOL_H_

@@ -1,0 +1,371 @@
+#include "src/schedule/schedule.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/ir/functor.h"
+#include "src/ir/simplify.h"
+#include "src/ir/substitute.h"
+
+namespace tvmcpp {
+
+namespace {
+
+// Rewrites tensor reads through op replacement; shared by cache_read/cache_write.
+class TensorReadReplacer : public ExprMutator {
+ public:
+  explicit TensorReadReplacer(const std::unordered_map<const OperationNode*, Operation>& repl)
+      : repl_(repl) {}
+
+  bool changed() const { return changed_; }
+
+ protected:
+  Expr MutateTensorRead(const TensorReadNode* op, const Expr& e) override {
+    Expr base = ExprMutator::MutateTensorRead(op, e);
+    const auto* n = static_cast<const TensorReadNode*>(base.get());
+    auto it = repl_.find(static_cast<const OperationNode*>(n->op.get()));
+    if (it == repl_.end()) {
+      return base;
+    }
+    changed_ = true;
+    return tensor_read(n->dtype, std::static_pointer_cast<void>(it->second), n->value_index,
+                       it->second->name, n->indices);
+  }
+
+ private:
+  const std::unordered_map<const OperationNode*, Operation>& repl_;
+  bool changed_ = false;
+};
+
+}  // namespace
+
+Expr ReplaceTensorReads(const Expr& e,
+                        const std::unordered_map<const OperationNode*, Operation>& repl) {
+  TensorReadReplacer r(repl);
+  return r.Mutate(e);
+}
+
+TensorIntrinPtr decl_tensor_intrin(Tensor behavior, std::string intrin_name,
+                                   std::string reset_name, std::string update_name) {
+  auto intrin = std::make_shared<TensorIntrin>();
+  intrin->name = behavior.op()->name;
+  intrin->behavior = behavior;
+  intrin->inputs = behavior.op()->InputTensors();
+  intrin->intrin_name = std::move(intrin_name);
+  intrin->reset_name = std::move(reset_name);
+  intrin->update_name = std::move(update_name);
+  return intrin;
+}
+
+IterVar thread_axis(const std::string& tag) { return thread_axis(Range(), tag); }
+
+IterVar thread_axis(Range dom, const std::string& tag) {
+  IterVarType type =
+      (tag == "vthread" || tag == "cthread") ? IterVarType::kVirtualThread
+                                             : IterVarType::kThreadIndex;
+  return std::make_shared<IterVarNode>(dom, make_var(tag), type, tag);
+}
+
+StageNode::StageNode(Operation op, bool is_output)
+    : op(op), origin_op(op), is_output(is_output) {
+  if (auto* cop = dynamic_cast<ComputeOpNode*>(op.get())) {
+    root_iter_vars = cop->root_iter_vars();
+    leaf_iter_vars = root_iter_vars;
+  }
+}
+
+const IterVarAttr* StageNode::GetAttr(const IterVar& iv) const {
+  auto it = iter_attrs.find(iv.get());
+  return it == iter_attrs.end() ? nullptr : &it->second;
+}
+
+IterVarAttr* StageNode::GetOrCreateAttr(const IterVar& iv) { return &iter_attrs[iv.get()]; }
+
+void StageNode::ReplaceLeaf(const IterVar& target, const std::vector<IterVar>& replacement) {
+  auto it = std::find_if(leaf_iter_vars.begin(), leaf_iter_vars.end(),
+                         [&](const IterVar& iv) { return iv.get() == target.get(); });
+  CHECK(it != leaf_iter_vars.end())
+      << "itervar " << target->var->name << " is not a leaf of stage " << op->name;
+  it = leaf_iter_vars.erase(it);
+  leaf_iter_vars.insert(it, replacement.begin(), replacement.end());
+}
+
+void StageNode::split(IterVar parent, int64_t factor, IterVar* outer, IterVar* inner) {
+  CHECK_GT(factor, 0) << "split factor must be positive";
+  IterVarType type = parent->type;
+  // Extent of outer: ceil(parent_extent / factor) when known, symbolic otherwise.
+  Expr parent_extent = parent->dom.defined() ? parent->dom.extent() : nullptr;
+  Expr outer_extent;
+  if (parent_extent != nullptr) {
+    outer_extent = Simplify((parent_extent + make_int(factor - 1)) / make_int(factor));
+  }
+  IterVar o = std::make_shared<IterVarNode>(Range(make_int(0), outer_extent),
+                                            make_var(parent->var->name + ".o"), type, "");
+  IterVar i = std::make_shared<IterVarNode>(Range(make_int(0), make_int(factor)),
+                                            make_var(parent->var->name + ".i"), type, "");
+  relations.push_back(IterVarRelation{IterVarRelation::Kind::kSplit, parent, o, i,
+                                      make_int(factor), nullptr});
+  ReplaceLeaf(parent, {o, i});
+  *outer = o;
+  *inner = i;
+}
+
+void StageNode::split_by_nparts(IterVar parent, int64_t nparts, IterVar* outer,
+                                IterVar* inner) {
+  CHECK(parent->dom.defined());
+  int64_t extent = get_const_int(Simplify(parent->dom.extent()));
+  CHECK_EQ(extent % nparts, 0) << "split_by_nparts requires divisible extent";
+  split(parent, extent / nparts, outer, inner);
+}
+
+void StageNode::tile(IterVar x, IterVar y, int64_t x_factor, int64_t y_factor,
+                     IterVar* xo, IterVar* yo, IterVar* xi, IterVar* yi) {
+  split(x, x_factor, xo, xi);
+  split(y, y_factor, yo, yi);
+  reorder({*xo, *yo, *xi, *yi});
+}
+
+IterVar StageNode::fuse(IterVar outer, IterVar inner) {
+  Expr fused_extent;
+  if (outer->dom.defined() && inner->dom.defined() && outer->dom.extent() != nullptr &&
+      inner->dom.extent() != nullptr) {
+    fused_extent = Simplify(outer->dom.extent() * inner->dom.extent());
+  }
+  CHECK(outer->type == inner->type) << "cannot fuse itervars of different types";
+  IterVar fused = std::make_shared<IterVarNode>(
+      Range(make_int(0), fused_extent),
+      make_var(outer->var->name + "." + inner->var->name + ".fused"), outer->type, "");
+  // Require adjacency outer directly before inner.
+  auto io = std::find_if(leaf_iter_vars.begin(), leaf_iter_vars.end(),
+                         [&](const IterVar& iv) { return iv.get() == outer.get(); });
+  CHECK(io != leaf_iter_vars.end() && (io + 1) != leaf_iter_vars.end() &&
+        (io + 1)->get() == inner.get())
+      << "fuse requires adjacent itervars (reorder first)";
+  relations.push_back(
+      IterVarRelation{IterVarRelation::Kind::kFuse, nullptr, outer, inner, nullptr, fused});
+  // Replace the [outer, inner] pair with `fused` at outer's position.
+  io = leaf_iter_vars.erase(io, io + 2);
+  leaf_iter_vars.insert(io, fused);
+  return fused;
+}
+
+void StageNode::reorder(const std::vector<IterVar>& order) {
+  std::vector<size_t> positions;
+  for (const IterVar& iv : order) {
+    auto it = std::find_if(leaf_iter_vars.begin(), leaf_iter_vars.end(),
+                           [&](const IterVar& l) { return l.get() == iv.get(); });
+    CHECK(it != leaf_iter_vars.end())
+        << "reorder: " << iv->var->name << " is not a leaf itervar";
+    positions.push_back(static_cast<size_t>(it - leaf_iter_vars.begin()));
+  }
+  std::vector<size_t> sorted = positions;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < order.size(); ++i) {
+    leaf_iter_vars[sorted[i]] = order[i];
+  }
+}
+
+void StageNode::vectorize(const IterVar& iv) {
+  GetOrCreateAttr(iv)->for_type = ForType::kVectorized;
+}
+
+void StageNode::unroll(const IterVar& iv) { GetOrCreateAttr(iv)->for_type = ForType::kUnrolled; }
+
+void StageNode::parallel(const IterVar& iv) {
+  GetOrCreateAttr(iv)->for_type = ForType::kParallel;
+}
+
+void StageNode::pragma(const IterVar& iv, const std::string& pragma_name) {
+  GetOrCreateAttr(iv)->pragmas.push_back(pragma_name);
+}
+
+void StageNode::bind(const IterVar& iv, const IterVar& thread) {
+  IterVarAttr* attr = GetOrCreateAttr(iv);
+  attr->bind_thread = thread;
+  attr->for_type = thread->type == IterVarType::kVirtualThread ? ForType::kVThread
+                                                               : ForType::kThreadBinding;
+}
+
+void StageNode::tensorize(const IterVar& iv, TensorIntrinPtr intrin) {
+  GetOrCreateAttr(iv)->tensor_intrin = std::move(intrin);
+}
+
+void StageNode::compute_at(const Stage& parent, const IterVar& at) {
+  attach_type = AttachType::kScope;
+  attach_stage = parent;
+  attach_ivar = at;
+}
+
+void StageNode::compute_inline() {
+  CHECK(!is_output) << "cannot inline an output stage";
+  const auto* cop = dynamic_cast<const ComputeOpNode*>(op.get());
+  CHECK(cop != nullptr && cop->reduce_axis.empty())
+      << "only injective compute stages can be inlined";
+  attach_type = AttachType::kInline;
+}
+
+void StageNode::compute_root() { attach_type = AttachType::kRoot; }
+
+void StageNode::set_scope(std::string s) { scope = std::move(s); }
+
+Stage ScheduleNode::GetStage(const Operation& op) {
+  auto it = stage_map_.find(op.get());
+  CHECK(it != stage_map_.end()) << "operation " << op->name << " is not in this schedule";
+  return it->second;
+}
+
+Schedule create_schedule(const std::vector<Tensor>& outputs) {
+  auto sch = std::make_shared<ScheduleNode>();
+  std::unordered_set<const OperationNode*> output_set;
+  for (const Tensor& t : outputs) {
+    sch->outputs.push_back(t.op());
+    output_set.insert(t.op().get());
+  }
+  // Post-order DFS so producers precede consumers.
+  std::unordered_set<const OperationNode*> visited;
+  std::vector<Operation> order;
+  std::function<void(const Operation&)> dfs = [&](const Operation& op) {
+    if (!visited.insert(op.get()).second) {
+      return;
+    }
+    for (const Tensor& t : op->InputTensors()) {
+      dfs(t.op());
+    }
+    order.push_back(op);
+  };
+  for (const Tensor& t : outputs) {
+    dfs(t.op());
+  }
+  for (const Operation& op : order) {
+    auto stage = std::make_shared<StageNode>(op, output_set.count(op.get()) > 0);
+    sch->stages.push_back(stage);
+    sch->stage_map_[op.get()] = stage;
+  }
+  return sch;
+}
+
+void ScheduleNode::ReplaceDataFlow(std::unordered_map<const OperationNode*, Operation> repl) {
+  for (Stage& stage : stages) {
+    auto* cop = dynamic_cast<ComputeOpNode*>(stage->op.get());
+    if (cop == nullptr) {
+      continue;
+    }
+    bool changed = false;
+    std::vector<Expr> new_body;
+    new_body.reserve(cop->body.size());
+    for (const Expr& e : cop->body) {
+      TensorReadReplacer r(repl);
+      Expr ne = r.Mutate(e);
+      changed |= r.changed();
+      new_body.push_back(std::move(ne));
+    }
+    if (!changed) {
+      continue;
+    }
+    // Mutate the existing op in place: identity (stage/tensor handles) is preserved while
+    // the body now reads the replacement producers.
+    cop->body = std::move(new_body);
+  }
+  // Fix output list.
+  for (Operation& op : outputs) {
+    auto it = repl.find(op.get());
+    if (it != repl.end()) {
+      op = it->second;
+    }
+  }
+}
+
+Tensor ScheduleNode::cache_read(const Tensor& tensor, const std::string& scope,
+                                const std::vector<Operation>& readers) {
+  // Build the cache compute: identity copy of `tensor`.
+  std::vector<Expr> shape = tensor.shape();
+  Tensor cache = compute(
+      shape,
+      [&](const std::vector<Var>& i) {
+        std::vector<Expr> idx(i.begin(), i.end());
+        return tensor(idx);
+      },
+      tensor.name() + "." + scope);
+  Stage cache_stage = std::make_shared<StageNode>(cache.op(), false);
+  cache_stage->set_scope(scope);
+
+  // Insert the cache stage right after the producer stage.
+  Stage producer = GetStage(tensor.op());
+  auto pos = std::find(stages.begin(), stages.end(), producer);
+  CHECK(pos != stages.end());
+  stages.insert(pos + 1, cache_stage);
+  stage_map_[cache.op().get()] = cache_stage;
+
+  // Rewrite the readers to read the cache.
+  std::unordered_map<const OperationNode*, Operation> repl{{tensor.op().get(), cache.op()}};
+  std::vector<Operation> target_readers = readers;
+  if (target_readers.empty()) {
+    for (const Stage& st : stages) {
+      if (st == cache_stage) {
+        continue;
+      }
+      for (const Tensor& in : st->op->InputTensors()) {
+        if (in == tensor) {
+          target_readers.push_back(st->op);
+        }
+      }
+    }
+  }
+  for (const Operation& reader : target_readers) {
+    auto* cop = dynamic_cast<ComputeOpNode*>(reader.get());
+    CHECK(cop != nullptr) << "cache_read reader must be a compute op";
+    std::vector<Expr> new_body;
+    for (const Expr& e : cop->body) {
+      new_body.push_back(ReplaceTensorReads(e, repl));
+    }
+    cop->body = std::move(new_body);
+  }
+  return cache;
+}
+
+Tensor ScheduleNode::cache_write(const Tensor& tensor, const std::string& scope) {
+  Stage orig_stage = GetStage(tensor.op());
+  auto* cop = dynamic_cast<ComputeOpNode*>(tensor.op().get());
+  CHECK(cop != nullptr) << "cache_write requires a compute op";
+  CHECK_EQ(cop->num_outputs(), 1) << "cache_write supports single-output ops";
+
+  // The cache op takes over the original computation (axis, reduce axis, body).
+  auto cache_op = std::make_shared<ComputeOpNode>(tensor.name() + "." + scope, cop->axis,
+                                                  cop->reduce_axis, cop->body);
+  Tensor cache = cache_op->output(0);
+
+  // The original op becomes a copy of the cache over fresh spatial axis.
+  std::vector<IterVar> new_axis;
+  std::vector<Expr> idx;
+  for (const IterVar& iv : cop->axis) {
+    IterVar niv = make_itervar(tensor.name() + "." + iv->var->name, iv->dom.extent(),
+                               IterVarType::kDataPar);
+    idx.push_back(niv->var);
+    new_axis.push_back(std::move(niv));
+  }
+  cop->body = {cache(idx)};
+  cop->axis = std::move(new_axis);
+  cop->reduce_axis.clear();
+
+  // Reset the original stage's iteration state (it now iterates the copy loops) and insert
+  // the cache stage before it.
+  orig_stage->root_iter_vars = cop->root_iter_vars();
+  orig_stage->leaf_iter_vars = orig_stage->root_iter_vars;
+  orig_stage->relations.clear();
+  orig_stage->iter_attrs.clear();
+
+  Stage cache_stage = std::make_shared<StageNode>(cache.op(), false);
+  cache_stage->set_scope(scope);
+  auto pos = std::find(stages.begin(), stages.end(), orig_stage);
+  CHECK(pos != stages.end());
+  stages.insert(pos, cache_stage);
+  stage_map_[cache.op().get()] = cache_stage;
+  return cache;
+}
+
+}  // namespace tvmcpp

@@ -1,0 +1,170 @@
+// Schedules: the mapping from tensor expressions to low-level loop programs (Section 4).
+//
+// A Schedule holds one Stage per operation. Stages are transformed by schedule primitives
+// that preserve program semantics:
+//   * Halide-derived: split, tile, fuse, reorder, compute_at, compute_inline, unroll,
+//     vectorize, parallel, thread binding
+//   * TVM-novel (this paper): special memory scopes (set_scope / cache_read / cache_write),
+//     tensorize (Section 4.3), and virtual threads for latency hiding (Section 4.4)
+#ifndef SRC_SCHEDULE_SCHEDULE_H_
+#define SRC_SCHEDULE_SCHEDULE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/ir/stmt.h"
+#include "src/te/tensor.h"
+
+namespace tvmcpp {
+
+class StageNode;
+using Stage = std::shared_ptr<StageNode>;
+class ScheduleNode;
+using Schedule = std::shared_ptr<ScheduleNode>;
+
+// Relation between iteration variables recorded by split/fuse, replayed by bound
+// inference to derive loop extents and index expressions.
+struct IterVarRelation {
+  enum class Kind { kSplit, kFuse };
+  Kind kind;
+  // split: parent -> outer*factor + inner
+  IterVar parent;
+  IterVar outer;
+  IterVar inner;
+  Expr factor;  // split only
+  // fuse: fused = outer*inner_extent + inner
+  IterVar fused;  // fuse only
+};
+
+// How a stage's computation is anchored in the final loop nest.
+enum class AttachType {
+  kRoot,    // own top-level loop nest
+  kInline,  // body substituted into consumers
+  kScope,   // nested inside a consumer loop (compute_at)
+};
+
+// Declaration of a hardware tensor intrinsic (Section 4.3). The behavior is described with
+// the same tensor expression language; the lowering rule is the named runtime intrinsic.
+struct TensorIntrin {
+  std::string name;          // human-readable, e.g. "gemm8x8"
+  Tensor behavior;           // output tensor of the declaration compute
+  std::vector<Tensor> inputs;
+  std::string intrin_name;   // emitted Call name, e.g. kGemmIntrin
+  std::string reset_name;    // emitted for reduction init, may be empty
+  std::string update_name;   // emitted for reduction update, may be empty
+};
+
+using TensorIntrinPtr = std::shared_ptr<TensorIntrin>;
+
+// Declares a tensor intrinsic whose behavior is `behavior` (a ComputeOp output).
+TensorIntrinPtr decl_tensor_intrin(Tensor behavior, std::string intrin_name,
+                                   std::string reset_name = "", std::string update_name = "");
+
+// Per-leaf-itervar scheduling attributes.
+struct IterVarAttr {
+  ForType for_type = ForType::kSerial;
+  IterVar bind_thread;           // set by Stage::bind
+  TensorIntrinPtr tensor_intrin; // set by Stage::tensorize
+  std::vector<std::string> pragmas;
+};
+
+// Scheduling state of one operation.
+class StageNode : public std::enable_shared_from_this<StageNode> {
+ public:
+  StageNode(Operation op, bool is_output);
+
+  // --- Loop transformations -------------------------------------------------
+  // Splits `parent` by `factor`: parent = outer*factor + inner.
+  void split(IterVar parent, int64_t factor, IterVar* outer, IterVar* inner);
+  // Splits into `nparts` outer iterations.
+  void split_by_nparts(IterVar parent, int64_t nparts, IterVar* outer, IterVar* inner);
+  // 2-D tiling convenience (Figure 5's `tile`).
+  void tile(IterVar x, IterVar y, int64_t x_factor, int64_t y_factor,
+            IterVar* xo, IterVar* yo, IterVar* xi, IterVar* yi);
+  // Fuses two adjacent leaf vars into one.
+  IterVar fuse(IterVar outer, IterVar inner);
+  // Reorders the listed leaf vars into the given order (in-place among their slots).
+  void reorder(const std::vector<IterVar>& order);
+
+  // --- Annotations ----------------------------------------------------------
+  void vectorize(const IterVar& iv);
+  void unroll(const IterVar& iv);
+  void parallel(const IterVar& iv);
+  void pragma(const IterVar& iv, const std::string& pragma);
+  // Binds a leaf var to a thread axis (threadIdx/blockIdx/vthread).
+  void bind(const IterVar& iv, const IterVar& thread);
+  // Replaces the loop nest at `iv` with a hardware tensor intrinsic.
+  void tensorize(const IterVar& iv, TensorIntrinPtr intrin);
+
+  // --- Compute placement ----------------------------------------------------
+  void compute_at(const Stage& parent, const IterVar& at);
+  void compute_inline();
+  void compute_root();
+  // Storage scope of the stage's output buffer ("global", "shared", "local", ...).
+  void set_scope(std::string scope);
+
+  const IterVarAttr* GetAttr(const IterVar& iv) const;
+  IterVarAttr* GetOrCreateAttr(const IterVar& iv);
+
+  Operation op;          // current operation (may be replaced by cache_write)
+  Operation origin_op;   // operation at schedule creation
+  std::vector<IterVar> root_iter_vars;
+  std::vector<IterVar> leaf_iter_vars;
+  std::vector<IterVarRelation> relations;
+  AttachType attach_type = AttachType::kRoot;
+  IterVar attach_ivar;
+  std::weak_ptr<StageNode> attach_stage;
+  std::string scope = "global";
+  std::map<const IterVarNode*, IterVarAttr> iter_attrs;
+  bool is_output = false;
+
+ private:
+  // Replaces `target` in leaf_iter_vars by the given replacement vars.
+  void ReplaceLeaf(const IterVar& target, const std::vector<IterVar>& replacement);
+};
+
+// Schedule over a dataflow graph of operations, created by create_schedule().
+class ScheduleNode : public std::enable_shared_from_this<ScheduleNode> {
+ public:
+  // Stage lookup by tensor or operation (resolves through cache_write replacement).
+  Stage operator[](const Tensor& t) { return GetStage(t.op()); }
+  Stage GetStage(const Operation& op);
+
+  // Creates a cache stage that reads `tensor` into `scope` memory; all `readers`
+  // (or every reader when empty) are rewritten to read the cache (Section 4.2).
+  Tensor cache_read(const Tensor& tensor, const std::string& scope,
+                    const std::vector<Operation>& readers);
+  // Creates a cache stage computed in `scope` memory; the original tensor becomes a
+  // copy of the cache. Returns the cache tensor (Figure 5's `cache_write`).
+  Tensor cache_write(const Tensor& tensor, const std::string& scope);
+
+  // Stages in dependency order (producers before consumers).
+  std::vector<Stage> stages;
+  std::vector<Operation> outputs;
+
+ private:
+  friend Schedule create_schedule(const std::vector<Tensor>& outputs);
+  // Rewrites every stage body through `repl` (old op -> new op), propagating downstream.
+  void ReplaceDataFlow(std::unordered_map<const OperationNode*, Operation> repl);
+
+  std::unordered_map<const OperationNode*, Stage> stage_map_;
+};
+
+// Creates a schedule computing `outputs`, with one stage per reachable operation.
+Schedule create_schedule(const std::vector<Tensor>& outputs);
+
+// Creates a thread axis IterVar, e.g. thread_axis("threadIdx.x") or thread_axis("vthread").
+IterVar thread_axis(const std::string& tag);
+IterVar thread_axis(Range dom, const std::string& tag);
+
+// Rewrites TensorRead nodes through an operation replacement map.
+Expr ReplaceTensorReads(const Expr& e,
+                        const std::unordered_map<const OperationNode*, Operation>& repl);
+
+}  // namespace tvmcpp
+
+#endif  // SRC_SCHEDULE_SCHEDULE_H_

@@ -1,0 +1,89 @@
+// Static analysis of lowered loop programs.
+//
+// Produces the quantities both the machine models (src/sim/machine.h) and the ML cost
+// model's feature extraction (Figure 13) need: per-buffer access counts and touched
+// bytes at every loop level, arithmetic op counts, thread structure, and annotations.
+#ifndef SRC_SIM_ANALYSIS_H_
+#define SRC_SIM_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/lower/lower.h"
+
+namespace tvmcpp {
+
+// Statistics for one buffer (external argument or internal allocation).
+struct BufferStats {
+  std::string name;
+  const VarNode* var = nullptr;
+  DataType dtype;
+  std::string scope = "global";   // "global", "shared", "local", accelerator scopes
+  int64_t size_elements = -1;     // -1 if unknown (external args get set by the caller)
+  int64_t loads = 0;              // dynamic load count
+  int64_t stores = 0;             // dynamic store count
+  int64_t unique_elements = 0;    // approx. distinct elements touched
+  int64_t innermost_stride = -1;  // element stride of the innermost loop var (-1 unknown)
+  int64_t thread_stride = -1;     // stride w.r.t. threadIdx.x (-1 if no thread loops)
+};
+
+// Feature row: touched memory per buffer at one loop level (the Figure 13 table).
+struct LoopBufferTouch {
+  std::string buffer;
+  int64_t elements_per_iteration = 0;  // distinct elements touched by one iteration
+  int64_t accesses_per_iteration = 0;
+};
+
+struct LoopStats {
+  std::string var_name;
+  int64_t extent = 1;
+  ForType for_type = ForType::kSerial;
+  std::string thread_tag;
+  int depth = 0;
+  std::vector<LoopBufferTouch> touches;
+};
+
+struct ProgramStats {
+  double flops = 0;           // floating-point ops (FMA = 2)
+  double int_ops = 0;
+  double special_ops = 0;     // exp/tanh/... weighted
+  int64_t total_loads = 0;
+  int64_t total_stores = 0;
+  int64_t loop_iterations = 0;  // total dynamic loop iterations (loop overhead proxy)
+  int64_t sync_count = 0;       // dynamic barrier executions
+  int64_t branch_count = 0;     // dynamic if evaluations
+
+  // Thread structure (products of bound extents; 1 when absent).
+  int64_t grid_threads = 1;    // blockIdx.*
+  int64_t block_threads = 1;   // threadIdx.*
+  int64_t virtual_threads = 1; // vthread
+
+  bool has_vectorized = false;
+  bool has_parallel = false;
+  bool has_unrolled = false;
+  int64_t parallel_extent = 1;  // product of kParallel loop extents
+  int64_t vector_extent = 1;    // extent of innermost vectorized loop
+
+  std::map<std::string, int64_t> alloc_bytes_by_scope;
+
+  std::vector<BufferStats> buffers;
+  std::vector<LoopStats> loops;
+
+  const BufferStats* FindBuffer(const VarNode* v) const {
+    for (const BufferStats& b : buffers) {
+      if (b.var == v) {
+        return &b;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// Analyzes `func` (external args registered from func.args).
+ProgramStats AnalyzeProgram(const LoweredFunc& func);
+
+}  // namespace tvmcpp
+
+#endif  // SRC_SIM_ANALYSIS_H_

@@ -1,0 +1,44 @@
+// Analytic machine models: estimate the runtime of a lowered program on a target.
+//
+// These replace the paper's physical testbeds (see DESIGN.md). They are driven entirely
+// by the structure of the generated loop program (tiling, vectorization, thread binding,
+// memory scopes, coalescing strides), so schedule decisions move the estimates exactly
+// the way they move real hardware: better locality -> less DRAM traffic, cooperative
+// shared-memory staging -> fewer global loads, vectorization -> higher issue rate, etc.
+#ifndef SRC_SIM_MACHINE_H_
+#define SRC_SIM_MACHINE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/lower/lower.h"
+#include "src/runtime/target.h"
+#include "src/sim/analysis.h"
+
+namespace tvmcpp {
+
+// Cost breakdown of one function execution (used for roofline plots, Figure 10).
+struct SimCost {
+  double seconds = 0;
+  double compute_seconds = 0;
+  double memory_seconds = 0;
+  double overhead_seconds = 0;
+  double flops = 0;          // useful arithmetic
+  double dram_bytes = 0;     // estimated off-chip traffic
+  bool feasible = true;      // false when the program violates hardware limits
+  std::string infeasible_reason;
+
+  double GopsPerSecond() const { return seconds > 0 ? flops / seconds * 1e-9 : 0; }
+  double OperationalIntensity() const { return dram_bytes > 0 ? flops / dram_bytes : 0; }
+};
+
+// Estimates the cost of `func` on `target`. Dispatches on target.kind.
+SimCost EstimateCost(const Target& target, const LoweredFunc& func);
+
+// Variants taking precomputed stats (the tuner reuses one analysis per candidate).
+SimCost EstimateCpuCost(const Target& target, const ProgramStats& stats);
+SimCost EstimateGpuCost(const Target& target, const ProgramStats& stats);
+
+}  // namespace tvmcpp
+
+#endif  // SRC_SIM_MACHINE_H_

@@ -1,0 +1,65 @@
+// Minimal logging and checking facilities used across tvm-cpp.
+//
+// CHECK(cond) / CHECK_XX(a, b) abort with a message on failure; LOG(INFO) writes to stderr.
+// These mirror the glog-style macros used by the original TVM codebase.
+#ifndef SRC_SUPPORT_LOGGING_H_
+#define SRC_SUPPORT_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tvmcpp {
+
+// Error thrown by failed CHECKs. Tests may catch it; main() lets it terminate.
+class InternalError : public std::runtime_error {
+ public:
+  explicit InternalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line) { stream_ << "[" << file << ":" << line << "] "; }
+  ~LogMessage() { std::cerr << stream_.str() << std::endl; }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+class LogFatal {
+ public:
+  LogFatal(const char* file, int line) { stream_ << "[" << file << ":" << line << "] "; }
+  [[noreturn]] ~LogFatal() noexcept(false) { throw InternalError(stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace tvmcpp
+
+#define LOG_INFO ::tvmcpp::LogMessage(__FILE__, __LINE__).stream()
+#define LOG_FATAL ::tvmcpp::LogFatal(__FILE__, __LINE__).stream()
+#define LOG(severity) LOG_##severity
+
+#define CHECK(x) \
+  if (!(x)) LOG(FATAL) << "Check failed: " #x << ' '
+
+#define CHECK_BINARY_OP(name, op, x, y)                                             \
+  if (!((x)op(y)))                                                                  \
+  LOG(FATAL) << "Check failed: " << #x " " #op " " #y << " (" << (x) << " vs. " \
+             << (y) << ") "
+
+#define CHECK_EQ(x, y) CHECK_BINARY_OP(_EQ, ==, x, y)
+#define CHECK_NE(x, y) CHECK_BINARY_OP(_NE, !=, x, y)
+#define CHECK_LT(x, y) CHECK_BINARY_OP(_LT, <, x, y)
+#define CHECK_LE(x, y) CHECK_BINARY_OP(_LE, <=, x, y)
+#define CHECK_GT(x, y) CHECK_BINARY_OP(_GT, >, x, y)
+#define CHECK_GE(x, y) CHECK_BINARY_OP(_GE, >=, x, y)
+#define CHECK_NOTNULL(x) \
+  ((x) == nullptr ? (LOG(FATAL) << "Check notnull: " #x << ' ', (x)) : (x))
+
+#endif  // SRC_SUPPORT_LOGGING_H_

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation for tuners and simulators.
+//
+// All stochastic components of tvm-cpp take an explicit seed so every bench and test is
+// reproducible; we use a SplitMix64-seeded xoshiro256** generator.
+#ifndef SRC_SUPPORT_RANDOM_H_
+#define SRC_SUPPORT_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tvmcpp {
+
+// Fast deterministic RNG (xoshiro256**). Not cryptographic; used for search heuristics,
+// synthetic data, and simulator jitter.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double UniformReal() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Standard normal via Box-Muller.
+  double Normal() {
+    double u1 = UniformReal();
+    double u2 = UniformReal();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace tvmcpp
+
+#endif  // SRC_SUPPORT_RANDOM_H_

@@ -1,0 +1,65 @@
+// Plain-text table formatting used by the benchmark harnesses to print paper-style
+// rows (Figure/Table reproductions).
+#ifndef SRC_SUPPORT_TABLE_H_
+#define SRC_SUPPORT_TABLE_H_
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tvmcpp {
+
+// Accumulates rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Convenience: format a double with the given precision.
+  static std::string Num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> width(header_.size(), 0);
+    for (size_t i = 0; i < header_.size(); ++i) {
+      width[i] = header_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      os << "| ";
+      for (size_t i = 0; i < width.size(); ++i) {
+        std::string cell = i < row.size() ? row[i] : "";
+        os << std::left << std::setw(static_cast<int>(width[i])) << cell << " | ";
+      }
+      os << "\n";
+    };
+    print_row(header_);
+    os << "|";
+    for (size_t i = 0; i < width.size(); ++i) {
+      os << std::string(width[i] + 2, '-') << "|";
+    }
+    os << "\n";
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tvmcpp
+
+#endif  // SRC_SUPPORT_TABLE_H_

@@ -1,0 +1,92 @@
+// VDLA: the Vanilla Deep Learning Accelerator of Section 6.4, as a cycle-level
+// decoupled access-execute (DAE) simulator.
+//
+// Pipeline (Figure 20): a LOAD unit (DRAM -> on-chip SRAM DMA), a COMPUTE unit (16x16
+// GEMM core + vector ALU), and a STORE unit, connected by dependence-token FIFOs
+// (LOAD->EXE, EXE->LOAD, EXE->STORE, STORE->EXE). Correct overlap is recovered solely
+// from the explicit push/pop synchronization instructions the compiler inserts
+// (Figures 8/9); the simulator has no oracle knowledge.
+//
+// Code generation consumes the lowered loop program: leaf nests are classified into DMA
+// copies (cache-stage copy loops), GEMM macro-instructions (tensorized calls), and ALU
+// nests; virtual threads are lowered by InsertDaeSync + InjectVirtualThreads into a
+// single annotated instruction stream, exactly per Figure 8.
+#ifndef SRC_VDLA_VDLA_H_
+#define SRC_VDLA_VDLA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/lower/lower.h"
+#include "src/runtime/target.h"
+
+namespace tvmcpp {
+
+enum class VdlaUnit : uint8_t { kLoad, kCompute, kStore };
+
+struct VdlaInsn {
+  enum class Op : uint8_t {
+    kDmaLoad,   // DRAM -> SRAM
+    kDmaStore,  // SRAM -> DRAM
+    kGemm,      // dense matrix block on the GEMM core
+    kAlu,       // vector ALU nest
+    kFill,      // accumulator reset
+    kPushDep,   // enqueue a dependence token to `partner`
+    kPopDep,    // block until a token from `partner` is available
+  };
+  Op op;
+  VdlaUnit unit;
+  VdlaUnit partner = VdlaUnit::kLoad;  // for push/pop
+  int64_t bytes = 0;                   // DMA payload
+  int64_t work = 0;                    // MACs (gemm) or elements (alu/fill)
+};
+
+// The instruction stream of one VDLA invocation.
+using VdlaProgram = std::vector<VdlaInsn>;
+
+// Inserts Figure 8's dependence push/pop operations into a lowered program: every
+// load-class leaf nest is bracketed with pop(ex->ld)/push(ld->ex) and every compute-class
+// nest with pop(ld->ex)/push(ex->ld); each virtual thread receives an initial credit.
+// Returns the annotated statement (still containing vthread loops).
+Stmt InsertDaeSync(const Stmt& s);
+
+// Generates the final single instruction stream: InsertDaeSync + virtual-thread
+// interleaving + leaf-nest classification.
+VdlaProgram BuildVdlaProgram(const LoweredFunc& func, const Target& target);
+
+struct VdlaRunStats {
+  double cycles = 0;
+  double load_busy_cycles = 0;
+  double compute_busy_cycles = 0;
+  double store_busy_cycles = 0;
+  double macs = 0;
+  double dram_bytes = 0;
+  int64_t instructions = 0;
+
+  double ComputeUtilization() const {
+    return cycles > 0 ? compute_busy_cycles / cycles : 0;
+  }
+  double Seconds(const Target& t) const { return cycles / (t.clock_ghz * 1e9); }
+  double GopsPerSecond(const Target& t) const {
+    double s = Seconds(t);
+    return s > 0 ? 2.0 * macs / s * 1e-9 : 0;
+  }
+  double OperationalIntensity() const {
+    return dram_bytes > 0 ? 2.0 * macs / dram_bytes : 0;
+  }
+};
+
+// Executes the instruction stream on the DAE pipeline model. When `pipelined` is false
+// the accelerator behaves as Figure 9's monolithic design (each instruction waits for
+// the previous one).
+VdlaRunStats SimulateVdla(const VdlaProgram& program, const Target& target,
+                          bool pipelined = true);
+
+// Convenience: lower-to-stream + simulate.
+VdlaRunStats RunOnVdla(const LoweredFunc& func, const Target& target,
+                       bool pipelined = true);
+
+}  // namespace tvmcpp
+
+#endif  // SRC_VDLA_VDLA_H_

@@ -1,0 +1,135 @@
+// Auto-tuner tests: GBT model quality (regression + rank objectives), exploration
+// methods, and the Figure 12 property that the ML-guided search converges faster than
+// random search on a conv2d task.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/autotune/feature.h"
+#include "src/autotune/gbt.h"
+#include "src/autotune/tuner.h"
+#include "src/support/random.h"
+
+namespace tvmcpp {
+namespace autotune {
+namespace {
+
+TEST(Gbt, FitsSyntheticRegression) {
+  Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> f(4);
+    for (double& v : f) {
+      v = rng.UniformReal() * 4;
+    }
+    x.push_back(f);
+    y.push_back(2 * f[0] + f[1] * f[1] - 3 * (f[2] > 2) + 0.1 * f[3]);
+  }
+  GbtModel model(GbtParams{60, 5, 0.2, 2, GbtObjective::kRegression});
+  model.Fit(x, y);
+  double mse = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double d = model.Predict(x[i]) - y[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(x.size());
+  double var = 0, mean = 0;
+  for (double v : y) {
+    mean += v;
+  }
+  mean /= static_cast<double>(y.size());
+  for (double v : y) {
+    var += (v - mean) * (v - mean);
+  }
+  var /= static_cast<double>(y.size());
+  EXPECT_LT(mse, 0.2 * var) << "GBT failed to fit synthetic data";
+}
+
+TEST(Gbt, RankObjectivePreservesOrder) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 150; ++i) {
+    std::vector<double> f(3);
+    for (double& v : f) {
+      v = rng.UniformReal();
+    }
+    x.push_back(f);
+    y.push_back(3 * f[0] - 2 * f[1]);
+  }
+  GbtModel model(GbtParams{50, 4, 0.3, 2, GbtObjective::kRank});
+  model.Fit(x, y);
+  // Pairwise order agreement must beat chance decisively.
+  int correct = 0, total = 0;
+  for (size_t i = 0; i < x.size(); i += 3) {
+    for (size_t j = i + 1; j < x.size(); j += 7) {
+      if (y[i] == y[j]) {
+        continue;
+      }
+      ++total;
+      bool truth = y[i] > y[j];
+      bool pred = model.Predict(x[i]) > model.Predict(x[j]);
+      correct += truth == pred;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.85);
+}
+
+TEST(Tuner, FindsGoodConfigOnConv) {
+  topi::OpWorkload wl{"conv2d", 1, 14, 14, 32, 64, 3, 1, 1};
+  TuningTask task(wl, Target::TitanX(), /*seed=*/9);
+  TuneOptions opt;
+  opt.num_trials = 64;
+  opt.batch_size = 16;
+  TuneResult r = Tune(&task, TunerKind::kMlBased, opt);
+  ASSERT_GE(r.best_config, 0);
+  // Best found must be well below the median of a random sample.
+  Rng rng(4);
+  std::vector<double> sample;
+  for (int i = 0; i < 32; ++i) {
+    sample.push_back(
+        task.TrueCost(static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(task.size())))));
+  }
+  std::sort(sample.begin(), sample.end());
+  double median = sample[sample.size() / 2];
+  EXPECT_LT(task.TrueCost(r.best_config), median);
+}
+
+TEST(Tuner, MlBeatsRandomAtFixedBudget) {
+  topi::OpWorkload wl{"conv2d", 1, 14, 14, 32, 64, 3, 1, 1};
+  TuneOptions opt;
+  opt.num_trials = 96;
+  opt.batch_size = 16;
+  TuningTask t1(wl, Target::TitanX(), 21);
+  TuningTask t2(wl, Target::TitanX(), 21);
+  TuneResult ml = Tune(&t1, TunerKind::kMlBased, opt);
+  TuneResult rnd = Tune(&t2, TunerKind::kRandom, opt);
+  // The ML-guided search should find an equal or better config (Figure 12's gap).
+  EXPECT_LE(ml.best_seconds, rnd.best_seconds * 1.10);
+}
+
+TEST(Tuner, HistoryIsMonotone) {
+  topi::OpWorkload wl{"dense", 64, 1, 1, 1, 64, 64, 1, 0};
+  TuningTask task(wl, Target::TitanX(), 2);
+  TuneOptions opt;
+  opt.num_trials = 40;
+  TuneResult r = Tune(&task, TunerKind::kGenetic, opt);
+  for (size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_LE(r.history[i].best_seconds, r.history[i - 1].best_seconds);
+  }
+}
+
+TEST(Feature, DistinctConfigsProduceDistinctFeatures) {
+  topi::OpWorkload wl{"conv2d", 1, 14, 14, 16, 32, 3, 1, 1};
+  TuningTask task(wl, Target::TitanX(), 3);
+  std::vector<double> f0 = task.Features(0);
+  std::vector<double> f1 = task.Features(task.size() - 1);
+  EXPECT_EQ(f0.size(), static_cast<size_t>(kFeatureDim));
+  EXPECT_NE(f0, f1);
+}
+
+}  // namespace
+}  // namespace autotune
+}  // namespace tvmcpp

@@ -1,0 +1,92 @@
+// Model zoo tests: graph construction, shape inference through whole networks, Table 2
+// workload lists, and end-to-end compilation of every model for both CPU and GPU.
+#include <gtest/gtest.h>
+
+#include "src/frontend/models.h"
+#include "src/graph/executor.h"
+
+namespace tvmcpp {
+namespace frontend {
+namespace {
+
+TEST(Models, ResNet18Shapes) {
+  Model m = ResNet18(1, 224);
+  const graph::Node& out = m.graph.node(m.graph.outputs[0]);
+  EXPECT_EQ(out.shape, (std::vector<int64_t>{1, 1000}));
+  // 20 convolutions (1 stem + 16 block + 3 downsample).
+  int convs = 0;
+  for (const auto& n : m.graph.nodes()) {
+    convs += n.op == "conv2d";
+  }
+  EXPECT_EQ(convs, 20);
+}
+
+TEST(Models, MobileNetShapes) {
+  Model m = MobileNet(1, 224);
+  const graph::Node& out = m.graph.node(m.graph.outputs[0]);
+  EXPECT_EQ(out.shape, (std::vector<int64_t>{1, 1000}));
+  int dw = 0;
+  for (const auto& n : m.graph.nodes()) {
+    dw += n.op == "depthwise_conv2d";
+  }
+  EXPECT_EQ(dw, 13);
+}
+
+TEST(Models, DqnShapes) {
+  Model m = Dqn(1);
+  EXPECT_EQ(m.graph.node(m.graph.outputs[0]).shape, (std::vector<int64_t>{1, 18}));
+}
+
+TEST(Models, DcganShapes) {
+  Model m = Dcgan(1);
+  EXPECT_EQ(m.graph.node(m.graph.outputs[0]).shape, (std::vector<int64_t>{1, 3, 64, 64}));
+}
+
+TEST(Models, Table2Workloads) {
+  auto convs = ResnetConvWorkloads();
+  ASSERT_EQ(convs.size(), 12u);
+  EXPECT_EQ(convs[0].k, 7);
+  EXPECT_EQ(convs[0].stride, 2);
+  EXPECT_EQ(convs[6].ic, 128);  // C7
+  EXPECT_EQ(convs[6].oc, 256);
+  auto dws = MobilenetDepthwiseWorkloads();
+  ASSERT_EQ(dws.size(), 9u);
+  EXPECT_EQ(dws[8].ic, 1024);
+}
+
+class ModelCompile : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ModelCompile, CompilesForTarget) {
+  int model_id = std::get<0>(GetParam());
+  int target_id = std::get<1>(GetParam());
+  Model m;
+  switch (model_id) {
+    case 0:
+      m = ResNet18(1, 32);  // small image: fast compile, same kernel structure
+      break;
+    case 1:
+      m = MobileNet(1, 32);
+      break;
+    case 2:
+      m = Dqn(1);
+      break;
+    case 3:
+      m = Dcgan(1);
+      break;
+    default:
+      m = LstmLanguageModel(2, 64);
+      break;
+  }
+  Target t = target_id == 0 ? Target::ArmA53() : Target::TitanX();
+  graph::GraphExecutor exec(m.graph, t, {});
+  EXPECT_GT(exec.num_kernels(), 0);
+  EXPECT_GT(exec.EstimateSeconds(), 0.0);
+  EXPECT_LE(exec.memory_plan().planned_bytes, exec.memory_plan().unplanned_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelCompile,
+                         ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 2)));
+
+}  // namespace
+}  // namespace frontend
+}  // namespace tvmcpp

@@ -1,0 +1,160 @@
+// Schedule-layer unit tests: the bookkeeping of every primitive (leaf lists, relations,
+// attach state, dataflow rewiring of cache_read/cache_write) independent of lowering.
+#include <gtest/gtest.h>
+
+#include "src/ir/printer.h"
+#include "src/schedule/schedule.h"
+#include "src/te/tensor.h"
+
+namespace tvmcpp {
+namespace {
+
+Tensor SimpleMatmul(int n, Tensor* a, Tensor* b) {
+  Tensor A = placeholder({make_int(n), make_int(n)}, DataType::Float32(), "A");
+  Tensor B = placeholder({make_int(n), make_int(n)}, DataType::Float32(), "B");
+  IterVar rk = reduce_axis(Range(make_int(0), make_int(n)), "rk");
+  Tensor C = compute({make_int(n), make_int(n)},
+                     [&](const std::vector<Var>& i) {
+                       return sum(A({i[0], rk->var}) * B({rk->var, i[1]}), {rk});
+                     },
+                     "C");
+  *a = A;
+  *b = B;
+  return C;
+}
+
+TEST(ScheduleTest, CreateScheduleTopoOrder) {
+  Tensor A, B;
+  Tensor C = SimpleMatmul(16, &A, &B);
+  Schedule s = create_schedule({C});
+  // Stages: A, B placeholders then C; producers precede consumers.
+  ASSERT_EQ(s->stages.size(), 3u);
+  EXPECT_EQ(s->stages.back()->op->name, "C");
+  EXPECT_TRUE(s->stages.back()->is_output);
+}
+
+TEST(ScheduleTest, SplitBookkeeping) {
+  Tensor A, B;
+  Tensor C = SimpleMatmul(16, &A, &B);
+  Schedule s = create_schedule({C});
+  Stage sc = (*s)[C];
+  ASSERT_EQ(sc->leaf_iter_vars.size(), 3u);  // y, x, rk
+  IterVar o, i;
+  sc->split(sc->leaf_iter_vars[0], 4, &o, &i);
+  EXPECT_EQ(sc->leaf_iter_vars.size(), 4u);
+  EXPECT_EQ(sc->leaf_iter_vars[0].get(), o.get());
+  EXPECT_EQ(sc->leaf_iter_vars[1].get(), i.get());
+  ASSERT_EQ(sc->relations.size(), 1u);
+  EXPECT_EQ(sc->relations[0].kind, IterVarRelation::Kind::kSplit);
+  EXPECT_EQ(get_const_int(sc->relations[0].factor), 4);
+  // Reduce-axis splits keep the reduce type.
+  IterVar ko, ki;
+  sc->split(sc->leaf_iter_vars[3], 8, &ko, &ki);
+  EXPECT_EQ(ko->type, IterVarType::kCommReduce);
+  EXPECT_EQ(ki->type, IterVarType::kCommReduce);
+}
+
+TEST(ScheduleTest, FuseRequiresAdjacency) {
+  Tensor A, B;
+  Tensor C = SimpleMatmul(16, &A, &B);
+  Schedule s = create_schedule({C});
+  Stage sc = (*s)[C];
+  IterVar f = sc->fuse(sc->leaf_iter_vars[0], sc->leaf_iter_vars[1]);
+  EXPECT_EQ(sc->leaf_iter_vars.size(), 2u);
+  EXPECT_EQ(sc->leaf_iter_vars[0].get(), f.get());
+  EXPECT_EQ(get_const_int(f->dom.extent()), 256);
+  // Fusing non-adjacent vars must fail loudly.
+  Tensor A2, B2;
+  Tensor C2 = SimpleMatmul(16, &A2, &B2);
+  Schedule s2 = create_schedule({C2});
+  Stage sc2 = (*s2)[C2];
+  EXPECT_THROW(sc2->fuse(sc2->leaf_iter_vars[0], sc2->leaf_iter_vars[2]), InternalError);
+}
+
+TEST(ScheduleTest, ReorderPreservesSet) {
+  Tensor A, B;
+  Tensor C = SimpleMatmul(16, &A, &B);
+  Schedule s = create_schedule({C});
+  Stage sc = (*s)[C];
+  IterVar y = sc->leaf_iter_vars[0], x = sc->leaf_iter_vars[1], k = sc->leaf_iter_vars[2];
+  sc->reorder({k, x, y});
+  EXPECT_EQ(sc->leaf_iter_vars[0].get(), k.get());
+  EXPECT_EQ(sc->leaf_iter_vars[1].get(), x.get());
+  EXPECT_EQ(sc->leaf_iter_vars[2].get(), y.get());
+}
+
+TEST(ScheduleTest, CacheWriteRewiresDataflow) {
+  Tensor A, B;
+  Tensor C = SimpleMatmul(16, &A, &B);
+  Schedule s = create_schedule({C});
+  Tensor CL = s->cache_write(C, "local");
+  // C's op is now a copy: no reduce axis, reads CL.
+  auto* cop = dynamic_cast<ComputeOpNode*>(C.op().get());
+  ASSERT_NE(cop, nullptr);
+  EXPECT_TRUE(cop->reduce_axis.empty());
+  std::vector<Tensor> ins = cop->InputTensors();
+  ASSERT_EQ(ins.size(), 1u);
+  EXPECT_EQ(ins[0], CL);
+  // The cache carries the reduction and reads A and B.
+  auto* lop = dynamic_cast<ComputeOpNode*>(CL.op().get());
+  ASSERT_NE(lop, nullptr);
+  EXPECT_EQ(lop->reduce_axis.size(), 1u);
+  EXPECT_EQ((*s)[CL]->scope, "local");
+  // The cache stage precedes the output stage.
+  size_t cache_pos = 0, out_pos = 0;
+  for (size_t i = 0; i < s->stages.size(); ++i) {
+    if (s->stages[i]->op.get() == CL.op().get()) {
+      cache_pos = i;
+    }
+    if (s->stages[i]->op.get() == C.op().get()) {
+      out_pos = i;
+    }
+  }
+  EXPECT_LT(cache_pos, out_pos);
+}
+
+TEST(ScheduleTest, CacheReadRedirectsReaders) {
+  Tensor A, B;
+  Tensor C = SimpleMatmul(16, &A, &B);
+  Schedule s = create_schedule({C});
+  Tensor AS = s->cache_read(A, "shared", {C.op()});
+  EXPECT_EQ((*s)[AS]->scope, "shared");
+  // C no longer reads A directly.
+  bool reads_a = false, reads_as = false;
+  for (const Tensor& t : C.op()->InputTensors()) {
+    reads_a |= t == A;
+    reads_as |= t == AS;
+  }
+  EXPECT_FALSE(reads_a);
+  EXPECT_TRUE(reads_as);
+}
+
+TEST(ScheduleTest, ThreadAxisKinds) {
+  EXPECT_EQ(thread_axis("threadIdx.x")->type, IterVarType::kThreadIndex);
+  EXPECT_EQ(thread_axis("blockIdx.y")->type, IterVarType::kThreadIndex);
+  EXPECT_EQ(thread_axis("vthread")->type, IterVarType::kVirtualThread);
+}
+
+TEST(ScheduleTest, InlineRejectsReductionsAndOutputs) {
+  Tensor A, B;
+  Tensor C = SimpleMatmul(16, &A, &B);
+  Schedule s = create_schedule({C});
+  EXPECT_THROW((*s)[C]->compute_inline(), InternalError);  // output + reduction
+}
+
+TEST(ScheduleTest, AttrsAccumulate) {
+  Tensor A, B;
+  Tensor C = SimpleMatmul(16, &A, &B);
+  Schedule s = create_schedule({C});
+  Stage sc = (*s)[C];
+  IterVar x = sc->leaf_iter_vars[1];
+  sc->vectorize(x);
+  const IterVarAttr* attr = sc->GetAttr(x);
+  ASSERT_NE(attr, nullptr);
+  EXPECT_EQ(attr->for_type, ForType::kVectorized);
+  sc->pragma(x, "auto_unroll");
+  EXPECT_EQ(sc->GetAttr(x)->pragmas.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tvmcpp

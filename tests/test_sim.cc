@@ -1,0 +1,101 @@
+// Machine-model property tests: the analytic cost models must respond to schedule
+// structure in the physically-sensible direction (the basis for every benchmark).
+#include <gtest/gtest.h>
+
+#include "src/autotune/tuner.h"
+#include "src/lower/lower.h"
+#include "src/sim/analysis.h"
+#include "src/sim/machine.h"
+#include "src/topi/schedules.h"
+
+namespace tvmcpp {
+namespace {
+
+double CostOf(const topi::OpWorkload& wl, const Target& t, topi::Config cfg) {
+  topi::BuiltOp built = topi::BuildOpCompute(wl);
+  Schedule s = topi::ApplyOpSchedule(wl, t, built, cfg);
+  LoweredFunc f = Lower(s, built.Args(), "x");
+  return EstimateCost(t, f).seconds;
+}
+
+TEST(SimCpu, VectorizeAndParallelHelp) {
+  topi::OpWorkload wl{"conv2d", 1, 28, 28, 64, 64, 3, 1, 1};
+  Target t = Target::ArmA53();
+  topi::Config base = topi::DefaultConfig(topi::GetScheduleSpace(wl, t));
+  base["vectorize"] = 0;
+  base["parallel"] = 0;
+  double scalar = CostOf(wl, t, base);
+  base["vectorize"] = 1;
+  double vec = CostOf(wl, t, base);
+  base["parallel"] = 1;
+  double vecpar = CostOf(wl, t, base);
+  EXPECT_LT(vec, scalar);
+  EXPECT_LT(vecpar, vec);
+}
+
+TEST(SimCpu, MoreWorkCostsMore) {
+  Target t = Target::ArmA53();
+  topi::OpWorkload small{"conv2d", 1, 14, 14, 32, 32, 3, 1, 1};
+  topi::OpWorkload big{"conv2d", 1, 28, 28, 64, 64, 3, 1, 1};
+  topi::Config cs = topi::DefaultConfig(topi::GetScheduleSpace(small, t));
+  topi::Config cb = topi::DefaultConfig(topi::GetScheduleSpace(big, t));
+  EXPECT_LT(CostOf(small, t, cs), CostOf(big, t, cb));
+}
+
+TEST(SimGpu, SharedMemoryLimitIsEnforced) {
+  // A block asking for more shared memory than the target offers must be infeasible.
+  Target t = Target::TitanX();
+  t.shared_mem_bytes = 1024;  // tiny
+  topi::OpWorkload wl{"dense", 256, 1, 1, 1, 256, 256, 1, 0};
+  topi::BuiltOp built = topi::BuildOpCompute(wl);
+  topi::Config cfg = topi::DefaultConfig(topi::GetScheduleSpace(wl, t));
+  cfg["use_shared"] = 1;
+  cfg["tile_y"] = 32;
+  cfg["tile_x"] = 32;
+  cfg["tile_k"] = 64;
+  Schedule s = topi::ApplyOpSchedule(wl, t, built, cfg);
+  LoweredFunc f = Lower(s, built.Args(), "x");
+  SimCost c = EstimateCost(t, f);
+  EXPECT_FALSE(c.feasible);
+}
+
+TEST(SimGpu, TunedBeatsWorstConfig) {
+  topi::OpWorkload wl{"conv2d", 1, 28, 28, 64, 128, 3, 1, 1};
+  Target t = Target::TitanX();
+  autotune::TuningTask task(wl, t, 3);
+  double best = 1e30, worst = 0;
+  for (int64_t i = 0; i < std::min<int64_t>(task.size(), 200); ++i) {
+    double c = task.TrueCost(i * (task.size() / std::min<int64_t>(task.size(), 200)));
+    best = std::min(best, c);
+    worst = std::max(worst, c);
+  }
+  // The space must be meaningfully non-flat for tuning to matter (paper Sec. 5).
+  EXPECT_GT(worst / best, 2.0);
+}
+
+TEST(SimAnalysis, CountsFlopsOfMatmul) {
+  const int n = 64;
+  topi::OpWorkload wl{"dense", n, 1, 1, 1, n, n, 1, 0};
+  topi::BuiltOp built = topi::BuildOpCompute(wl);
+  Schedule s = create_schedule({built.output});
+  LoweredFunc f = Lower(s, built.Args(), "mm");
+  ProgramStats stats = AnalyzeProgram(f);
+  // mul+add per inner iteration = 2 * n^3 flops.
+  EXPECT_NEAR(stats.flops, 2.0 * n * n * n, 0.1 * n * n * n);
+  EXPECT_GT(stats.total_loads, 0);
+}
+
+TEST(SimAnalysis, ThreadStructureDetected) {
+  topi::OpWorkload wl{"dense", 64, 1, 1, 1, 64, 64, 1, 0};
+  Target t = Target::TitanX();
+  topi::BuiltOp built = topi::BuildOpCompute(wl);
+  topi::Config cfg = topi::DefaultConfig(topi::GetScheduleSpace(wl, t));
+  Schedule s = topi::ApplyOpSchedule(wl, t, built, cfg);
+  LoweredFunc f = Lower(s, built.Args(), "mm");
+  ProgramStats stats = AnalyzeProgram(f);
+  EXPECT_GT(stats.block_threads, 1);
+  EXPECT_GT(stats.grid_threads, 1);
+}
+
+}  // namespace
+}  // namespace tvmcpp
