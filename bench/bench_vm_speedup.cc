@@ -1,0 +1,160 @@
+// Micro-benchmark: bytecode VM vs tree-walking interpreter on real kernel execution.
+//
+// Measures wall-clock time (not the machine model) of a conv2d + fused relu epilogue
+// and a dense kernel, single-threaded, then parallel-for scaling of the VM across
+// worker counts. Emits machine-readable JSON lines via PrintBenchJson.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/interp/interp.h"
+#include "src/lower/lower.h"
+#include "src/support/random.h"
+#include "src/topi/nn.h"
+#include "src/topi/schedules.h"
+#include "src/vm/vm.h"
+
+namespace tvmcpp {
+namespace {
+
+struct HostBuf {
+  std::vector<char> bytes;
+  DataType dtype;
+  int64_t elems = 0;
+  BufferBinding Bind() { return BufferBinding{bytes.data(), dtype, elems}; }
+};
+
+HostBuf RandomBuf(int64_t elems, DataType dtype, uint64_t seed) {
+  HostBuf b;
+  b.dtype = dtype;
+  b.elems = elems;
+  b.bytes.assign(static_cast<size_t>(elems * InterpElementBytes(dtype)), 0);
+  Rng rng(seed);
+  float* p = reinterpret_cast<float*>(b.bytes.data());
+  for (int64_t i = 0; i < elems; ++i) {
+    p[i] = static_cast<float>(rng.UniformReal() * 2.0 - 1.0);
+  }
+  return b;
+}
+
+int64_t NumElems(const Tensor& t) {
+  int64_t n = 1;
+  for (const Expr& e : t.shape()) {
+    n *= get_const_int(e);
+  }
+  return n;
+}
+
+struct BuiltKernel {
+  LoweredFunc func;
+  std::vector<HostBuf> bufs;
+  std::vector<BufferBinding> Bindings() {
+    std::vector<BufferBinding> bind;
+    for (HostBuf& b : bufs) {
+      bind.push_back(b.Bind());
+    }
+    return bind;
+  }
+};
+
+BuiltKernel BuildConvRelu(bool parallel) {
+  topi::OpWorkload wl;
+  wl.kind = "conv2d";
+  wl.n = 1;
+  wl.ic = 16;
+  wl.h = wl.w = 28;
+  wl.oc = 32;
+  wl.k = 3;
+  wl.stride = 1;
+  wl.pad = 1;
+  Tensor data = placeholder(
+      {make_int(wl.n), make_int(wl.ic), make_int(wl.h), make_int(wl.w)},
+      DataType::Float32(), "data");
+  Tensor kern = placeholder(
+      {make_int(wl.oc), make_int(wl.ic), make_int(wl.k), make_int(wl.k)},
+      DataType::Float32(), "kern");
+  Tensor conv = topi::Conv2dNCHW(data, kern, wl.stride, wl.pad);
+  Tensor out = topi::Relu(conv);
+  Target cpu = Target::ArmA53();
+  topi::Config config = topi::DefaultConfig(topi::GetScheduleSpace(wl, cpu));
+  config["parallel"] = parallel ? 1 : 0;
+  Schedule s = topi::ScheduleFusedGroup(cpu, {out}, conv, config, &wl);
+  BuiltKernel k;
+  k.func = Lower(s, {data, kern, out}, parallel ? "conv_relu_par" : "conv_relu");
+  k.bufs = {RandomBuf(NumElems(data), DataType::Float32(), 1),
+            RandomBuf(NumElems(kern), DataType::Float32(), 2),
+            RandomBuf(NumElems(out), DataType::Float32(), 3)};
+  return k;
+}
+
+BuiltKernel BuildDense() {
+  topi::OpWorkload wl;
+  wl.kind = "dense";
+  wl.n = 16;
+  wl.k = 256;
+  wl.oc = 256;
+  topi::BuiltOp built = topi::BuildOpCompute(wl);
+  Target cpu = Target::ArmA53();
+  topi::Config config = topi::DefaultConfig(topi::GetScheduleSpace(wl, cpu));
+  config["parallel"] = 0;
+  Schedule s = topi::ApplyOpSchedule(wl, cpu, built, config);
+  BuiltKernel k;
+  k.func = Lower(s, built.Args(), "dense");
+  for (size_t i = 0; i < built.Args().size(); ++i) {
+    k.bufs.push_back(RandomBuf(NumElems(built.Args()[i]), DataType::Float32(), 10 + i));
+  }
+  return k;
+}
+
+void BenchKernel(const std::string& name, BuiltKernel k, int repeats) {
+  std::vector<BufferBinding> bind = k.Bindings();
+  std::shared_ptr<const vm::Program> prog = vm::CompileToProgram(k.func);
+  if (prog == nullptr) {
+    std::printf("%s: VM compile failed, skipping\n", name.c_str());
+    return;
+  }
+  vm::ExecOptions serial;
+  serial.num_threads = 1;
+  double interp_ms = bench::MeasureMs([&] { RunLoweredInterp(k.func, bind); }, repeats);
+  double vm_ms = bench::MeasureMs([&] { vm::Run(*prog, bind, serial); }, repeats);
+  bench::PrintBenchJson("vm_speedup_" + name, {{"interp_ms", interp_ms},
+                                               {"vm_ms", vm_ms},
+                                               {"speedup", interp_ms / vm_ms}});
+}
+
+void BenchParallelScaling(int repeats) {
+  BuiltKernel k = BuildConvRelu(/*parallel=*/true);
+  std::vector<BufferBinding> bind = k.Bindings();
+  std::shared_ptr<const vm::Program> prog = vm::CompileToProgram(k.func);
+  if (prog == nullptr || !vm::ProgramHasParallel(*prog)) {
+    std::printf("parallel kernel unavailable, skipping scaling bench\n");
+    return;
+  }
+  std::vector<std::pair<std::string, double>> fields;
+  double ms1 = 0;
+  for (int threads : {1, 2, 4}) {
+    vm::ExecOptions opts;
+    opts.num_threads = threads;
+    double ms = bench::MeasureMs([&] { vm::Run(*prog, bind, opts); }, repeats);
+    if (threads == 1) {
+      ms1 = ms;
+    }
+    fields.emplace_back("vm_ms_" + std::to_string(threads) + "t", ms);
+  }
+  fields.emplace_back("scaling_4t", ms1 / fields.back().second);
+  bench::PrintBenchJson("vm_parallel_conv2d_relu", fields);
+}
+
+}  // namespace
+}  // namespace tvmcpp
+
+int main() {
+  using namespace tvmcpp;
+  std::printf("bytecode VM vs tree-walking interpreter (wall clock)\n\n");
+  const int repeats = 5;
+  BenchKernel("conv2d_relu", BuildConvRelu(/*parallel=*/false), repeats);
+  BenchKernel("dense", BuildDense(), repeats);
+  BenchParallelScaling(repeats);
+  return 0;
+}

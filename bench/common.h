@@ -2,9 +2,12 @@
 #ifndef BENCH_COMMON_H_
 #define BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/autotune/tuner.h"
 #include "src/baselines/baselines.h"
@@ -14,6 +17,46 @@
 
 namespace tvmcpp {
 namespace bench {
+
+// Monotonic wall-clock timer for real (not modeled) execution measurements.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Average wall-clock milliseconds of `fn` over `repeats` runs after `warmup` runs.
+template <typename F>
+double MeasureMs(F&& fn, int repeats = 3, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) {
+    fn();
+  }
+  WallTimer timer;
+  for (int i = 0; i < repeats; ++i) {
+    fn();
+  }
+  return timer.Ms() / repeats;
+}
+
+// Prints one machine-readable result line, e.g.
+//   {"bench": "vm_speedup_conv2d", "interp_ms": 41.2, "vm_ms": 5.1, "speedup": 8.1}
+// so perf trajectories (BENCH_*.json) can be accumulated by scraping stdout.
+inline void PrintBenchJson(const std::string& bench,
+                           const std::vector<std::pair<std::string, double>>& fields) {
+  std::printf("{\"bench\": \"%s\"", bench.c_str());
+  for (const auto& kv : fields) {
+    std::printf(", \"%s\": %.6g", kv.first.c_str(), kv.second);
+  }
+  std::printf("}\n");
+}
 
 // Tunes a workload with the ML-based optimizer; returns (best seconds, best config).
 // Results are cached per (workload, target) within one process.

@@ -48,10 +48,23 @@ void GraphExecutor::Compile() {
   groups_ = FuseOps(graph_, options_.enable_fusion);
   plan_ = PlanMemory(graph_, groups_);
 
-  // Allocate buffers for every materialized node.
+  // Allocate buffers for every materialized node, sharing byte storage between nodes
+  // the memory plan assigned to the same storage token (their live ranges are disjoint,
+  // so intermediates reuse buffers instead of each getting a fresh allocation).
+  std::unordered_map<int, NDArray> token_storage;
   for (const FusedGroup& grp : groups_) {
     const Node& out = graph_.node(grp.nodes.back());
-    values_[out.id] = NDArray::Empty(out.shape, out.dtype);
+    int sid = plan_.storage_id[static_cast<size_t>(out.id)];
+    if (sid < 0) {
+      values_[out.id] = NDArray::Empty(out.shape, out.dtype);
+      continue;
+    }
+    NDArray& storage = token_storage[sid];
+    if (!storage.defined()) {
+      storage = NDArray::Empty({plan_.storage_bytes[static_cast<size_t>(sid)]},
+                               DataType::Int8());
+    }
+    values_[out.id] = NDArray::ShareStorage(storage, out.shape, out.dtype);
   }
 
   for (const FusedGroup& grp : groups_) {
@@ -128,6 +141,9 @@ void GraphExecutor::Compile() {
     Kernel k;
     k.name = "fused_" + graph_.node(grp.nodes.back()).name;
     k.func = Lower(sch, args, k.name);
+    if (GetExecEngine() == ExecEngine::kVm) {
+      k.program = vm::CompileToProgram(k.func);  // compiled once, reused by every Run()
+    }
     k.input_nodes = externals;
     k.output_node = grp.nodes.back();
     kernels_.push_back(std::move(k));
@@ -153,7 +169,11 @@ void GraphExecutor::Run() {
       bindings.push_back(it->second.Binding());
     }
     bindings.push_back(values_.at(k.output_node).Binding());
-    RunLowered(k.func, bindings);
+    if (k.program != nullptr && GetExecEngine() == ExecEngine::kVm) {
+      vm::Run(*k.program, bindings);
+    } else {
+      RunLoweredInterp(k.func, bindings);
+    }
   }
 }
 

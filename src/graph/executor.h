@@ -13,6 +13,7 @@
 #include "src/lower/lower.h"
 #include "src/runtime/ndarray.h"
 #include "src/runtime/target.h"
+#include "src/vm/vm.h"
 
 namespace tvmcpp {
 namespace graph {
@@ -33,7 +34,8 @@ class GraphExecutor {
 
   void SetInput(const std::string& name, const NDArray& value);
   void SetParam(const std::string& name, const NDArray& value);
-  // Executes all kernels on the interpreter.
+  // Executes all kernels: each fused kernel runs its bytecode program compiled and
+  // cached at construction time (or the reference interpreter, per GetExecEngine()).
   void Run();
   NDArray GetOutput(int index) const;
 
@@ -51,6 +53,9 @@ class GraphExecutor {
  private:
   struct Kernel {
     LoweredFunc func;
+    // Bytecode program compiled once at graph-compile time; null when the VM cannot
+    // compile the kernel (it then runs on the reference interpreter).
+    std::shared_ptr<const vm::Program> program;
     std::vector<int> input_nodes;  // graph node ids bound to func args (last = output)
     int output_node = -1;
     std::string name;

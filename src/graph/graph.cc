@@ -389,53 +389,65 @@ int ConstantFold(Graph* g, std::unordered_map<int, NDArray>* params) {
 MemoryPlan PlanMemory(const Graph& g, const std::vector<FusedGroup>& groups) {
   MemoryPlan plan;
   plan.storage_id.assign(static_cast<size_t>(g.num_nodes()), -1);
-  // Only group outputs materialize buffers.
-  std::unordered_set<int> materialized;
-  for (const FusedGroup& grp : groups) {
-    materialized.insert(grp.nodes.back());
-  }
   std::unordered_set<int> output_set(g.outputs.begin(), g.outputs.end());
 
-  // Liveness: last consumer position per node (group outputs consumed by later groups).
-  std::vector<int> last_use(static_cast<size_t>(g.num_nodes()), -1);
-  for (const Node& node : g.nodes()) {
-    for (int in : node.inputs) {
-      last_use[static_cast<size_t>(in)] = std::max(last_use[static_cast<size_t>(in)], node.id);
+  // Liveness must be computed in kernel-execution order (group positions), not node
+  // ids: a consumer fused as the epilogue of a much later group reads its input buffer
+  // at that group's execution time, long after the consumer's own node id.
+  std::unordered_map<int, int> produced_at;  // group-output node id -> group position
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    produced_at[groups[gi].nodes.back()] = static_cast<int>(gi);
+  }
+  // Last group position that reads each materialized buffer.
+  std::vector<int> last_read(static_cast<size_t>(g.num_nodes()), -1);
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    std::unordered_set<int> in_group(groups[gi].nodes.begin(), groups[gi].nodes.end());
+    for (int id : groups[gi].nodes) {
+      for (int in : g.node(id).inputs) {
+        if (!in_group.count(in) && produced_at.count(in)) {
+          last_read[static_cast<size_t>(in)] =
+              std::max(last_read[static_cast<size_t>(in)], static_cast<int>(gi));
+        }
+      }
     }
   }
+  int num_groups = static_cast<int>(groups.size());
   for (int out : g.outputs) {
-    last_use[static_cast<size_t>(out)] = g.num_nodes() + 1;
+    last_read[static_cast<size_t>(out)] = num_groups + 1;
   }
 
   struct Storage {
     int64_t bytes;
-    int free_after;  // node id after which this storage is free
+    int free_after;  // group position after which this storage is free
   };
   std::vector<Storage> pool;
+  // Widened storage bytes, the same metric the executor allocates with (float16 is
+  // stored as float32, sub-byte ints as int8) — packed device bytes would make the
+  // best-fit ranking diverge from the buffers actually shared at runtime.
   auto bytes_of = [&](const Node& n) {
     int64_t e = 1;
     for (int64_t d : n.shape) {
       e *= d;
     }
-    return e * ((n.dtype.bits() + 7) / 8);
+    return e * InterpElementBytes(n.dtype);
   };
 
-  for (const Node& node : g.nodes()) {
-    if (!materialized.count(node.id)) {
-      continue;
-    }
+  for (int gi = 0; gi < num_groups; ++gi) {
+    const Node& node = g.node(groups[static_cast<size_t>(gi)].nodes.back());
     int64_t bytes = bytes_of(node);
     plan.unplanned_bytes += bytes;
     if (output_set.count(node.id)) {
       // Outputs get dedicated storage.
-      pool.push_back(Storage{bytes, g.num_nodes() + 2});
+      pool.push_back(Storage{bytes, num_groups + 2});
       plan.storage_id[static_cast<size_t>(node.id)] = static_cast<int>(pool.size()) - 1;
       continue;
     }
-    // Greedy best-fit reuse.
+    // Greedy best-fit reuse. Strict <: a storage last read by this very kernel must
+    // not be handed to its output — kernels are not in-place (a conv output element
+    // reads a neighborhood of inputs), so aliasing input and output corrupts results.
     int best = -1;
     for (size_t i = 0; i < pool.size(); ++i) {
-      if (pool[i].free_after <= node.id && pool[i].bytes >= bytes) {
+      if (pool[i].free_after < gi && pool[i].bytes >= bytes) {
         if (best < 0 || pool[static_cast<size_t>(best)].bytes > pool[i].bytes) {
           best = static_cast<int>(i);
         }
@@ -444,7 +456,7 @@ MemoryPlan PlanMemory(const Graph& g, const std::vector<FusedGroup>& groups) {
     if (best < 0) {
       // Allow growing a free slot when nothing fits.
       for (size_t i = 0; i < pool.size(); ++i) {
-        if (pool[i].free_after <= node.id) {
+        if (pool[i].free_after < gi) {
           best = static_cast<int>(i);
           pool[i].bytes = std::max(pool[i].bytes, bytes);
           break;
@@ -452,13 +464,14 @@ MemoryPlan PlanMemory(const Graph& g, const std::vector<FusedGroup>& groups) {
       }
     }
     if (best < 0) {
-      pool.push_back(Storage{bytes, 0});
+      pool.push_back(Storage{bytes, -1});
       best = static_cast<int>(pool.size()) - 1;
     }
-    pool[static_cast<size_t>(best)].free_after = last_use[static_cast<size_t>(node.id)];
+    pool[static_cast<size_t>(best)].free_after = last_read[static_cast<size_t>(node.id)];
     plan.storage_id[static_cast<size_t>(node.id)] = best;
   }
   for (const Storage& s : pool) {
+    plan.storage_bytes.push_back(s.bytes);
     plan.planned_bytes += s.bytes;
   }
   return plan;

@@ -103,6 +103,7 @@ int ConstantFold(Graph* g, std::unordered_map<int, NDArray>* params);
 // whose live ranges do not overlap. Returns storage id per node and the total/peak bytes.
 struct MemoryPlan {
   std::vector<int> storage_id;        // per node; -1 for inputs/consts
+  std::vector<int64_t> storage_bytes; // widened bytes per storage id (executor metric)
   int64_t planned_bytes = 0;          // with reuse
   int64_t unplanned_bytes = 0;        // naive sum of all intermediates
 };

@@ -1,6 +1,7 @@
 #include "src/interp/interp.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -11,6 +12,8 @@
 #include "src/ir/functor.h"
 #include "src/ir/printer.h"
 #include "src/ir/simplify.h"
+#include "src/support/float16.h"
+#include "src/vm/vm.h"
 
 namespace tvmcpp {
 
@@ -152,7 +155,7 @@ class Interp {
         if (n->dtype.is_float()) {
           double d = v.AsF();
           if (n->dtype.bits() == 16) {
-            d = static_cast<double>(static_cast<float>(d));  // half modeled as float
+            d = static_cast<double>(QuantizeFloat16(static_cast<float>(d)));
           }
           return Value::Float(d);
         }
@@ -227,8 +230,7 @@ class Interp {
     if (buf.dtype.is_float()) {
       float f = static_cast<float>(v.AsF());
       if (buf.dtype.bits() == 16) {
-        // Quantize through half-precision-like rounding (11-bit mantissa).
-        f = static_cast<float>(f);
+        f = QuantizeFloat16(f);  // round through the half-precision grid
       }
       static_cast<float*>(buf.data)[idx] = f;
       return;
@@ -416,26 +418,10 @@ class Interp {
 
 }  // namespace
 
-namespace {
-
-bool HasThreadBinding(const Stmt& s) {
-  bool found = false;
-  PostOrderVisitStmt(s, [&](const Stmt& st) {
-    if (st->kind == StmtKind::kFor) {
-      const auto* n = static_cast<const ForNode*>(st.get());
-      found |= n->for_type == ForType::kThreadBinding &&
-               n->thread_tag.rfind("threadIdx", 0) == 0;
-    }
-  });
-  return found;
-}
-
-}  // namespace
-
-void RunLowered(const LoweredFunc& func, const std::vector<BufferBinding>& args) {
+void RunLoweredInterp(const LoweredFunc& func, const std::vector<BufferBinding>& args) {
   CHECK_EQ(args.size(), func.args.size()) << "argument count mismatch for " << func.name;
   Stmt body = func.body;
-  if (HasThreadBinding(body)) {
+  if (HasThreadIdxBinding(body)) {
     // Cooperative (barrier-synchronized) programs need block-synchronous serialization.
     body = SerializeThreadBlocks(body);
   }
@@ -448,6 +434,31 @@ void RunLowered(const LoweredFunc& func, const std::vector<BufferBinding>& args)
     interp.BindBuffer(func.args[i].var.get(), std::move(state));
   }
   interp.Exec(body);
+}
+
+namespace {
+
+ExecEngine& EngineSlot() {
+  static ExecEngine engine = [] {
+    const char* s = std::getenv("TVMCPP_ENGINE");
+    if (s != nullptr && std::string(s) == "interp") {
+      return ExecEngine::kInterp;
+    }
+    return ExecEngine::kVm;
+  }();
+  return engine;
+}
+
+}  // namespace
+
+void SetExecEngine(ExecEngine engine) { EngineSlot() = engine; }
+ExecEngine GetExecEngine() { return EngineSlot(); }
+
+void RunLowered(const LoweredFunc& func, const std::vector<BufferBinding>& args) {
+  if (GetExecEngine() == ExecEngine::kVm && vm::RunLoweredVM(func, args)) {
+    return;
+  }
+  RunLoweredInterp(func, args);
 }
 
 }  // namespace tvmcpp

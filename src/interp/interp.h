@@ -24,8 +24,20 @@ struct BufferBinding {
   int64_t num_elements = 0;
 };
 
-// Executes `func` with `args` bound positionally to func.args.
+// Which engine RunLowered dispatches to. The bytecode VM (src/vm) is the default; the
+// tree-walking interpreter remains the reference semantics and the fallback for
+// programs the VM cannot compile. Overridable via env TVMCPP_ENGINE=interp|vm.
+enum class ExecEngine { kVm, kInterp };
+void SetExecEngine(ExecEngine engine);
+ExecEngine GetExecEngine();
+
+// Executes `func` with `args` bound positionally to func.args, dispatching to the
+// engine selected by SetExecEngine / TVMCPP_ENGINE (VM by default, with automatic
+// interpreter fallback when the VM cannot compile the function).
 void RunLowered(const LoweredFunc& func, const std::vector<BufferBinding>& args);
+
+// Always executes on the tree-walking reference interpreter.
+void RunLoweredInterp(const LoweredFunc& func, const std::vector<BufferBinding>& args);
 
 // Storage bytes per element as the interpreter lays data out (see BufferBinding).
 int InterpElementBytes(DataType t);

@@ -52,6 +52,10 @@ Stmt UnrollLoops(const Stmt& s, int64_t max_extent = 16);
 // real GPU codegen, which declares shared memory at kernel scope.
 Stmt HoistSharedAllocations(const Stmt& s);
 
+// True when `s` contains a loop bound to a threadIdx hardware thread (such programs need
+// SerializeThreadBlocks before host execution). Shared by both execution engines.
+bool HasThreadIdxBinding(const Stmt& s);
+
 // Rewrites threadIdx-bound loop nests into block-synchronous serial form: per-thread
 // buffers are privatized (expanded by the thread-grid size) and the thread loops are
 // re-introduced around each barrier-delimited phase (loop fission at tvm_storage_sync).

@@ -441,4 +441,16 @@ Stmt SerializeThreadBlocks(const Stmt& s) {
   return ser.MutateStmt(s);
 }
 
+bool HasThreadIdxBinding(const Stmt& s) {
+  bool found = false;
+  PostOrderVisitStmt(s, [&](const Stmt& st) {
+    if (st->kind == StmtKind::kFor) {
+      const auto* n = static_cast<const ForNode*>(st.get());
+      found |= n->for_type == ForType::kThreadBinding &&
+               n->thread_tag.rfind("threadIdx", 0) == 0;
+    }
+  });
+  return found;
+}
+
 }  // namespace tvmcpp

@@ -82,18 +82,42 @@ class NDArray {
                          NumElements()};
   }
 
+  // Creates an array that aliases `storage`'s bytes under its own shape/dtype. Used by
+  // the graph executor to share one memory-plan storage token between several
+  // intermediate tensors whose live ranges do not overlap.
+  static NDArray ShareStorage(const NDArray& storage, std::vector<int64_t> shape,
+                              DataType dtype) {
+    NDArray a;
+    a.shape_ = std::move(shape);
+    a.dtype_ = dtype;
+    a.data_ = storage.data_;
+    CHECK_LE(a.NumElements() * InterpElementBytes(dtype),
+             static_cast<int64_t>(a.data_->size()))
+        << "storage token too small for aliased tensor";
+    return a;
+  }
+
+  // True when both arrays alias the same underlying storage.
+  bool SameStorageAs(const NDArray& other) const { return data_ == other.data_; }
+
+  // Bytes this tensor logically occupies. May be smaller than the underlying storage
+  // for ShareStorage views, so copies must use this rather than the storage size.
+  int64_t ByteSize() const { return NumElements() * InterpElementBytes(dtype_); }
+
   // Deep copy.
   NDArray Copy() const {
     NDArray a;
     a.shape_ = shape_;
     a.dtype_ = dtype_;
-    a.data_ = std::make_shared<std::vector<char>>(*data_);
+    a.data_ = std::make_shared<std::vector<char>>(
+        data_->begin(), data_->begin() + static_cast<ptrdiff_t>(ByteSize()));
     return a;
   }
 
   void CopyFrom(const NDArray& other) {
     CHECK_EQ(NumElements(), other.NumElements());
-    std::memcpy(data_->data(), other.data_->data(), data_->size());
+    CHECK(dtype_ == other.dtype_) << "dtype mismatch in CopyFrom";
+    std::memcpy(data_->data(), other.data_->data(), static_cast<size_t>(ByteSize()));
   }
 
  private:

@@ -1,0 +1,1528 @@
+#include "src/vm/vm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/ir/functor.h"
+#include "src/ir/printer.h"
+#include "src/ir/simplify.h"
+#include "src/runtime/threadpool.h"
+#include "src/support/float16.h"
+
+namespace tvmcpp {
+namespace vm {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Program representation
+// ---------------------------------------------------------------------------
+
+// A register holds a scalar as both representations; the statically known type of the
+// producing instruction decides which field is meaningful (mirrors interp's Value).
+struct VMValue {
+  double f = 0;
+  int64_t i = 0;
+};
+
+// Storage kind of a buffer element, derived from its DataType exactly like the
+// interpreter's widened layout (InterpElementBytes): floats are stored as float32
+// (float16 only rounds on store), ints as int8/int32/int64.
+enum ElemKind : uint8_t { kF32, kF16, kI8, kI32, kI64 };
+
+enum class Op : uint8_t {
+  kMov,         // r[dst] = r[a]
+  kIntToFloat,  // r[dst].f = (double)r[a].i
+  kFloatToInt,  // r[dst].i = (int64_t)r[a].f
+  kWrapInt,     // r[dst].i = r[a].i wrapped to `bits` bits, sign-extended iff flag
+  kQuantF16,    // r[dst].f = QuantizeFloat16((float)r[a].f)
+  kAddI, kAddF, kSubI, kSubF, kMulI, kMulF,
+  kDivF, kFloorDivI, kFloorModI,
+  kMinI, kMinF, kMaxI, kMaxF,
+  kEqI, kEqF, kNeI, kNeF, kLtI, kLtF, kLeI, kLeF, kGtI, kGtF, kGeI, kGeF,
+  kAnd, kOr, kNot,  // boolean ops over int truthiness
+  kBoolF,           // r[dst].i = r[a].f != 0
+  kJmp,             // pc = target
+  kJmpIfZero,       // pc = r[a].i == 0 ? target : pc + 1
+  kJmpGeI,          // pc = r[a].i >= r[b].i ? target : pc + 1 (loop back-edge test)
+  kIncI,            // ++r[dst].i
+  kLoadF32, kLoadI8, kLoadI32, kLoadI64,             // r[dst] = buf[idx][r[a].i]
+  kStoreF32, kStoreF16, kStoreI8, kStoreI32, kStoreI64,  // buf[idx][r[b].i] = r[a]
+  kAlloc,        // (re)allocate slot idx with r[a].i elements of kind flag, zero-filled
+  kCallUnary,    // r[dst].f = mathfn[flag](r[a].f)
+  kPopcount,     // r[dst].i = popcount((uint64_t)r[a].i)
+  kTensorIntrin, // run tensor-intrinsic descriptor idx
+  kParFor,       // chunk parallel loop descriptor idx across the thread pool
+  kAssert,       // CHECK(r[a].i != 0), message idx
+};
+
+enum UnaryFn : uint8_t { kExp, kLog, kSqrt, kTanh, kSigmoid };
+
+struct Instr {
+  Op op;
+  uint8_t flag = 0;   // ElemKind for kAlloc, UnaryFn for kCallUnary, signedness for kWrapInt
+  int16_t bits = 0;   // kWrapInt: target bit width
+  int32_t dst = 0;
+  int32_t a = 0;
+  int32_t b = 0;
+  int32_t idx = 0;    // buffer slot, jump target, or descriptor index
+};
+
+// Tensorized hardware intrinsic (fill/copy/mac category, see interp's ExecTensorIntrin).
+struct TensorIntrinDesc {
+  uint8_t category;  // 0 fill, 1 copy, 2 mac
+  int32_t nt;        // number of tensorized dims
+  std::vector<int32_t> buf_slot;    // per buffer (output first)
+  std::vector<int32_t> base_reg;    // per buffer
+  std::vector<int32_t> stride_reg;  // num_buffers * nt, row-major per buffer
+  std::vector<int32_t> extent_reg;  // nt
+};
+
+struct ParForDesc {
+  int32_t loop_reg = 0;
+  int32_t min_reg = 0;
+  int32_t bound_reg = 0;
+  int32_t body_begin = 0;
+  int32_t body_end = 0;
+};
+
+}  // namespace
+
+struct Program {
+  std::string name;
+  std::vector<Instr> code;
+  std::vector<VMValue> reg_init;  // initial register image (constants pre-folded)
+  int32_t num_args = 0;
+  int32_t num_buffer_slots = 0;
+  std::vector<uint8_t> arg_kind;  // ElemKind per argument slot
+  std::vector<TensorIntrinDesc> intrins;
+  std::vector<ParForDesc> parfors;
+  std::vector<std::string> messages;
+  bool has_parallel = false;
+};
+
+namespace {
+
+ElemKind ElemKindOf(DataType t) {
+  if (t.is_float()) {
+    return t.bits() == 16 ? kF16 : kF32;
+  }
+  if (t.bits() <= 8) {
+    return kI8;
+  }
+  if (t.bits() <= 32) {
+    return kI32;
+  }
+  return kI64;
+}
+
+// ---------------------------------------------------------------------------
+// Compiler: LoweredFunc body -> Program
+// ---------------------------------------------------------------------------
+
+class Compiler {
+ public:
+  std::shared_ptr<const Program> Compile(const LoweredFunc& func, const Stmt& body) {
+    prog_.name = func.name;
+    prog_.num_args = static_cast<int32_t>(func.args.size());
+    for (const BufferArg& arg : func.args) {
+      int32_t slot = NewBufferSlot(arg.dtype);
+      buf_of_[arg.var.get()] = slot;
+      prog_.arg_kind.push_back(static_cast<uint8_t>(ElemKindOf(arg.dtype)));
+    }
+    CompileStmt(body);
+    if (!ok_) {
+      LOG(INFO) << "vm: " << func.name << " falls back to the interpreter: "
+                << fail_reason_;
+      return nullptr;
+    }
+    Finalize();
+    return std::make_shared<const Program>(std::move(prog_));
+  }
+
+ private:
+  struct BinOps {  // int/float opcode pair for a binary expression kind
+    Op int_op;
+    Op float_op;
+  };
+
+  // --- register allocation ---------------------------------------------------
+  // Scoped registers (loop vars, lets, expression temps) come from a watermark
+  // allocator: each CompileExpr nets at most one register at its entry watermark, and
+  // enclosing scopes restore the watermark when bindings die. Constants get negative
+  // placeholder ids, rewritten to dense slots above the scoped-register high-water mark
+  // in Finalize() and materialized in the initial register image.
+  int32_t AllocReg() {
+    int32_t r = top_++;
+    if (top_ > max_top_) {
+      max_top_ = top_;
+    }
+    return r;
+  }
+
+  int32_t ConstI(int64_t v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return ConstReg(false, bits);
+  }
+
+  int32_t ConstF(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return ConstReg(true, bits);
+  }
+
+  int32_t ConstReg(bool is_float, uint64_t bits) {
+    auto& ids = is_float ? float_const_ids_ : int_const_ids_;
+    auto it = ids.find(bits);
+    if (it != ids.end()) {
+      return it->second;
+    }
+    VMValue v;
+    if (is_float) {
+      std::memcpy(&v.f, &bits, sizeof(v.f));
+    } else {
+      std::memcpy(&v.i, &bits, sizeof(v.i));
+    }
+    const_vals_.push_back(v);
+    int32_t id = -static_cast<int32_t>(const_vals_.size());  // -1, -2, ...
+    ids[bits] = id;
+    return id;
+  }
+
+  int32_t NewBufferSlot(DataType dtype) {
+    buf_kind_.push_back(ElemKindOf(dtype));
+    return prog_.num_buffer_slots++;
+  }
+
+  // --- emission --------------------------------------------------------------
+  int32_t Emit(Instr in) {
+    prog_.code.push_back(in);
+    return static_cast<int32_t>(prog_.code.size()) - 1;
+  }
+
+  int32_t Here() const { return static_cast<int32_t>(prog_.code.size()); }
+
+  void PatchTarget(int32_t at, int32_t target) {
+    prog_.code[static_cast<size_t>(at)].idx = target;
+  }
+
+  void Fail(const std::string& why) {
+    if (ok_) {
+      ok_ = false;
+      fail_reason_ = why;
+    }
+  }
+
+  // Emits a conversion making `r` hold a float (interp's Value::AsF promotion).
+  int32_t EnsureFloat(int32_t r, bool is_float) {
+    if (is_float) {
+      return r;
+    }
+    int32_t dst = AllocReg();
+    Emit({Op::kIntToFloat, 0, 0, dst, r, 0, 0});
+    return dst;
+  }
+
+  // Emits a conversion making `r` hold an int (interp's Value::AsI truncation).
+  int32_t EnsureInt(int32_t r, bool is_float) {
+    if (!is_float) {
+      return r;
+    }
+    int32_t dst = AllocReg();
+    Emit({Op::kFloatToInt, 0, 0, dst, r, 0, 0});
+    return dst;
+  }
+
+  // Emits a conversion making `r` int-truthy (interp's Value::AsBool).
+  int32_t EnsureBool(int32_t r, bool is_float) {
+    if (!is_float) {
+      return r;
+    }
+    int32_t dst = AllocReg();
+    Emit({Op::kBoolF, 0, 0, dst, r, 0, 0});
+    return dst;
+  }
+
+  // --- variable / buffer scoping ---------------------------------------------
+  struct VarBinding {
+    int32_t reg;
+    bool is_float;
+  };
+
+  class BindVar {
+   public:
+    BindVar(Compiler* c, const VarNode* v, VarBinding b) : c_(c), v_(v) {
+      auto it = c_->var_of_.find(v);
+      had_old_ = it != c_->var_of_.end();
+      if (had_old_) {
+        old_ = it->second;
+      }
+      c_->var_of_[v] = b;
+    }
+    ~BindVar() {
+      if (had_old_) {
+        c_->var_of_[v_] = old_;
+      } else {
+        c_->var_of_.erase(v_);
+      }
+    }
+
+   private:
+    Compiler* c_;
+    const VarNode* v_;
+    VarBinding old_{};
+    bool had_old_ = false;
+  };
+
+  class BindBuf {
+   public:
+    BindBuf(Compiler* c, const VarNode* v, int32_t slot) : c_(c), v_(v) {
+      auto it = c_->buf_of_.find(v);
+      had_old_ = it != c_->buf_of_.end();
+      if (had_old_) {
+        old_ = it->second;
+      }
+      c_->buf_of_[v] = slot;
+    }
+    ~BindBuf() {
+      if (had_old_) {
+        c_->buf_of_[v_] = old_;
+      } else {
+        c_->buf_of_.erase(v_);
+      }
+    }
+
+   private:
+    Compiler* c_;
+    const VarNode* v_;
+    int32_t old_ = 0;
+    bool had_old_ = false;
+  };
+
+  int32_t BufferSlotOf(const VarNode* v) {
+    auto it = buf_of_.find(v);
+    if (it == buf_of_.end()) {
+      Fail("unbound buffer " + v->name);
+      return 0;
+    }
+    return it->second;
+  }
+
+  // --- expressions -----------------------------------------------------------
+  // Compiles `e`; returns the register holding the result and sets *is_float to the
+  // statically known value representation (mirrors the runtime is_float flag of the
+  // interpreter's Value, which is fully determined by the expression tree).
+  int32_t CompileExpr(const Expr& e, bool* is_float) {
+    if (!ok_) {
+      *is_float = false;
+      return 0;
+    }
+    switch (e->kind) {
+      case ExprKind::kIntImm:
+        *is_float = false;
+        return ConstI(static_cast<const IntImmNode*>(e.get())->value);
+      case ExprKind::kFloatImm:
+        *is_float = true;
+        return ConstF(static_cast<const FloatImmNode*>(e.get())->value);
+      case ExprKind::kStringImm:
+        *is_float = false;
+        return ConstI(0);
+      case ExprKind::kVar: {
+        const auto* v = static_cast<const VarNode*>(e.get());
+        auto it = var_of_.find(v);
+        if (it == var_of_.end()) {
+          Fail("unbound variable " + v->name);
+          *is_float = false;
+          return 0;
+        }
+        *is_float = it->second.is_float;
+        return it->second.reg;
+      }
+      case ExprKind::kCast:
+        return CompileCast(static_cast<const CastNode*>(e.get()), is_float);
+      case ExprKind::kNot: {
+        const auto* n = static_cast<const NotNode*>(e.get());
+        int32_t mark = top_;
+        bool fa = false;
+        int32_t ra = CompileExpr(n->a, &fa);
+        ra = EnsureBool(ra, fa);
+        top_ = mark;
+        int32_t dst = AllocReg();
+        Emit({Op::kNot, 0, 0, dst, ra, 0, 0});
+        *is_float = false;
+        return dst;
+      }
+      case ExprKind::kSelect: {
+        const auto* n = static_cast<const SelectNode*>(e.get());
+        return CompileConditional(n->condition, n->true_value, n->false_value, is_float);
+      }
+      case ExprKind::kLoad:
+        return CompileLoad(static_cast<const LoadNode*>(e.get()), is_float);
+      case ExprKind::kLet: {
+        const auto* n = static_cast<const LetNode*>(e.get());
+        bool fv = false;
+        int32_t rv = CompileExpr(n->value, &fv);
+        BindVar bind(this, n->var.get(), VarBinding{rv, fv});
+        return CompileExpr(n->body, is_float);
+      }
+      case ExprKind::kCall:
+        return CompileCall(static_cast<const CallNode*>(e.get()), is_float);
+      case ExprKind::kRamp:
+      case ExprKind::kBroadcast:
+      case ExprKind::kReduce:
+      case ExprKind::kTensorRead:
+        Fail("vm cannot evaluate " + ToString(e));
+        *is_float = false;
+        return 0;
+      default: {
+        const auto* b = dynamic_cast<const BinaryNode*>(e.get());
+        if (b == nullptr) {
+          Fail("vm cannot evaluate " + ToString(e));
+          *is_float = false;
+          return 0;
+        }
+        return CompileBinary(e->kind, b, is_float);
+      }
+    }
+  }
+
+  int32_t CompileBinary(ExprKind kind, const BinaryNode* n, bool* is_float) {
+    int32_t mark = top_;
+    bool fa = false, fb = false;
+    int32_t ra = CompileExpr(n->a, &fa);
+    int32_t rb = CompileExpr(n->b, &fb);
+    bool fl = fa || fb;
+    Op op;
+    bool out_float = false;
+    switch (kind) {
+      case ExprKind::kAdd: op = fl ? Op::kAddF : Op::kAddI; out_float = fl; break;
+      case ExprKind::kSub: op = fl ? Op::kSubF : Op::kSubI; out_float = fl; break;
+      case ExprKind::kMul: op = fl ? Op::kMulF : Op::kMulI; out_float = fl; break;
+      case ExprKind::kDiv: op = fl ? Op::kDivF : Op::kFloorDivI; out_float = fl; break;
+      case ExprKind::kMod: op = Op::kFloorModI; break;  // interp: FloorMod(AsI, AsI)
+      case ExprKind::kMin: op = fl ? Op::kMinF : Op::kMinI; out_float = fl; break;
+      case ExprKind::kMax: op = fl ? Op::kMaxF : Op::kMaxI; out_float = fl; break;
+      case ExprKind::kEQ: op = fl ? Op::kEqF : Op::kEqI; break;
+      case ExprKind::kNE: op = fl ? Op::kNeF : Op::kNeI; break;
+      case ExprKind::kLT: op = fl ? Op::kLtF : Op::kLtI; break;
+      case ExprKind::kLE: op = fl ? Op::kLeF : Op::kLeI; break;
+      case ExprKind::kGT: op = fl ? Op::kGtF : Op::kGtI; break;
+      case ExprKind::kGE: op = fl ? Op::kGeF : Op::kGeI; break;
+      case ExprKind::kAnd: op = Op::kAnd; break;
+      case ExprKind::kOr: op = Op::kOr; break;
+      default:
+        Fail("bad binary kind");
+        *is_float = false;
+        return 0;
+    }
+    if (kind == ExprKind::kMod) {
+      ra = EnsureInt(ra, fa);
+      rb = EnsureInt(rb, fb);
+    } else if (kind == ExprKind::kAnd || kind == ExprKind::kOr) {
+      ra = EnsureBool(ra, fa);
+      rb = EnsureBool(rb, fb);
+    } else if (fl) {
+      // Interp promotes mixed int/float operands via AsF. Note kAdd/kSub/kMul/kMin/kMax
+      // with two ints use the raw .i fields, so no conversion is needed there.
+      ra = EnsureFloat(ra, fa);
+      rb = EnsureFloat(rb, fb);
+    }
+    top_ = mark;
+    int32_t dst = AllocReg();
+    Emit({op, 0, 0, dst, ra, rb, 0});
+    *is_float = out_float;
+    return dst;
+  }
+
+  int32_t CompileCast(const CastNode* n, bool* is_float) {
+    int32_t mark = top_;
+    bool fv = false;
+    int32_t rv = CompileExpr(n->value, &fv);
+    if (n->dtype.is_float()) {
+      rv = EnsureFloat(rv, fv);
+      top_ = mark;
+      int32_t dst = AllocReg();
+      if (n->dtype.bits() == 16) {
+        Emit({Op::kQuantF16, 0, 0, dst, rv, 0, 0});
+      } else {
+        Emit({Op::kMov, 0, 0, dst, rv, 0, 0});
+      }
+      *is_float = true;
+      return dst;
+    }
+    rv = EnsureInt(rv, fv);
+    top_ = mark;
+    int32_t dst = AllocReg();
+    if (n->dtype.bits() < 64 && !n->dtype.is_handle()) {
+      Emit({Op::kWrapInt, static_cast<uint8_t>(n->dtype.is_int() ? 1 : 0),
+            static_cast<int16_t>(n->dtype.bits()), dst, rv, 0, 0});
+    } else {
+      Emit({Op::kMov, 0, 0, dst, rv, 0, 0});
+    }
+    *is_float = false;
+    return dst;
+  }
+
+  // Lazy two-armed conditional (Select and the if_then_else intrinsic share interp's
+  // evaluate-one-branch semantics). Mixed-representation branches are unified to float.
+  int32_t CompileConditional(const Expr& cond, const Expr& tval, const Expr& fval,
+                             bool* is_float) {
+    int32_t dst = AllocReg();
+    int32_t entry = top_;
+    bool fc = false;
+    int32_t rc = CompileExpr(cond, &fc);
+    rc = EnsureBool(rc, fc);
+    int32_t jz = Emit({Op::kJmpIfZero, 0, 0, 0, rc, 0, 0});
+    top_ = entry;
+    bool ft = false, ff = false;
+    // Pre-scan both branch types so each branch can be promoted consistently.
+    bool out_float = StaticTypeOf(tval) || StaticTypeOf(fval);
+    int32_t rt = CompileExpr(tval, &ft);
+    if (out_float) {
+      rt = EnsureFloat(rt, ft);
+    }
+    Emit({Op::kMov, 0, 0, dst, rt, 0, 0});
+    int32_t jend = Emit({Op::kJmp, 0, 0, 0, 0, 0, 0});
+    PatchTarget(jz, Here());
+    top_ = entry;
+    int32_t rf = CompileExpr(fval, &ff);
+    if (out_float) {
+      rf = EnsureFloat(rf, ff);
+    }
+    Emit({Op::kMov, 0, 0, dst, rf, 0, 0});
+    PatchTarget(jend, Here());
+    top_ = entry;
+    *is_float = out_float;
+    return dst;
+  }
+
+  // Statically computes interp's runtime is_float flag for `e` without emitting code.
+  bool StaticTypeOf(const Expr& e) {
+    switch (e->kind) {
+      case ExprKind::kIntImm:
+      case ExprKind::kStringImm:
+        return false;
+      case ExprKind::kFloatImm:
+        return true;
+      case ExprKind::kVar: {
+        auto it = var_of_.find(static_cast<const VarNode*>(e.get()));
+        return it != var_of_.end() && it->second.is_float;
+      }
+      case ExprKind::kCast:
+        return e->dtype.is_float();
+      case ExprKind::kNot:
+        return false;
+      case ExprKind::kSelect: {
+        const auto* n = static_cast<const SelectNode*>(e.get());
+        return StaticTypeOf(n->true_value) || StaticTypeOf(n->false_value);
+      }
+      case ExprKind::kLoad:
+        return e->dtype.is_float();
+      case ExprKind::kLet: {
+        // Register the let binding so the body scan sees it, mirroring CompileExpr.
+        const auto* n = static_cast<const LetNode*>(e.get());
+        BindVar bind(this, n->var.get(), VarBinding{0, StaticTypeOf(n->value)});
+        return StaticTypeOf(n->body);
+      }
+      case ExprKind::kCall: {
+        const auto* n = static_cast<const CallNode*>(e.get());
+        if (n->name == "if_then_else") {
+          return StaticTypeOf(n->args[1]) || StaticTypeOf(n->args[2]);
+        }
+        return n->name == "exp" || n->name == "log" || n->name == "sqrt" ||
+               n->name == "tanh" || n->name == "sigmoid";
+      }
+      case ExprKind::kAdd:
+      case ExprKind::kSub:
+      case ExprKind::kMul:
+      case ExprKind::kDiv:
+      case ExprKind::kMin:
+      case ExprKind::kMax: {
+        const auto* b = static_cast<const BinaryNode*>(e.get());
+        return StaticTypeOf(b->a) || StaticTypeOf(b->b);
+      }
+      default:
+        return false;  // comparisons, mod, and/or produce ints
+    }
+  }
+
+  int32_t CompileLoad(const LoadNode* n, bool* is_float) {
+    int32_t slot = BufferSlotOf(n->buffer_var.get());
+    if (!ok_) {
+      *is_float = false;
+      return 0;
+    }
+    ElemKind kind = buf_kind_[static_cast<size_t>(slot)];
+    bool buf_float = kind == kF32 || kind == kF16;
+    if (n->dtype.is_float() != buf_float || n->dtype.lanes() != 1) {
+      Fail("vm load type mismatch on " + n->buffer_var->name);
+      *is_float = false;
+      return 0;
+    }
+    int32_t dst = AllocReg();
+    int32_t entry = top_;
+    int32_t jz = -1;
+    if (n->predicate != nullptr) {
+      bool fp = false;
+      int32_t rp = CompileExpr(n->predicate, &fp);
+      rp = EnsureBool(rp, fp);
+      jz = Emit({Op::kJmpIfZero, 0, 0, 0, rp, 0, 0});
+      top_ = entry;
+    }
+    bool fi = false;
+    int32_t ri = CompileExpr(n->index, &fi);
+    ri = EnsureInt(ri, fi);
+    Op op = buf_float ? Op::kLoadF32
+                      : (kind == kI8 ? Op::kLoadI8 : (kind == kI32 ? Op::kLoadI32
+                                                                   : Op::kLoadI64));
+    Emit({op, 0, 0, dst, ri, 0, slot});
+    if (jz >= 0) {
+      // Masked-off lanes read as typed zero, exactly like the interpreter.
+      int32_t jend = Emit({Op::kJmp, 0, 0, 0, 0, 0, 0});
+      PatchTarget(jz, Here());
+      int32_t zero = buf_float ? ConstF(0) : ConstI(0);
+      Emit({Op::kMov, 0, 0, dst, zero, 0, 0});
+      PatchTarget(jend, Here());
+    }
+    top_ = entry;
+    *is_float = buf_float;
+    return dst;
+  }
+
+  int32_t CompileCall(const CallNode* n, bool* is_float) {
+    const std::string& name = n->name;
+    if (name == "if_then_else") {
+      return CompileConditional(n->args[0], n->args[1], n->args[2], is_float);
+    }
+    if (name == "exp" || name == "log" || name == "sqrt" || name == "tanh" ||
+        name == "sigmoid") {
+      UnaryFn fn = name == "exp" ? kExp
+                                 : name == "log" ? kLog
+                                                 : name == "sqrt" ? kSqrt
+                                                                  : name == "tanh"
+                                                                        ? kTanh
+                                                                        : kSigmoid;
+      int32_t mark = top_;
+      bool fa = false;
+      int32_t ra = CompileExpr(n->args[0], &fa);
+      ra = EnsureFloat(ra, fa);
+      top_ = mark;
+      int32_t dst = AllocReg();
+      Emit({Op::kCallUnary, static_cast<uint8_t>(fn), 0, dst, ra, 0, 0});
+      *is_float = true;
+      return dst;
+    }
+    if (name == "popcount") {
+      int32_t mark = top_;
+      bool fa = false;
+      int32_t ra = CompileExpr(n->args[0], &fa);
+      ra = EnsureInt(ra, fa);
+      top_ = mark;
+      int32_t dst = AllocReg();
+      Emit({Op::kPopcount, 0, 0, dst, ra, 0, 0});
+      *is_float = false;
+      return dst;
+    }
+    if (name == kSyncIntrin || name == kPushDepIntrin || name == kPopDepIntrin) {
+      *is_float = false;
+      return ConstI(0);  // synchronization: no-op under serial/data-parallel execution
+    }
+    if (CompileTensorIntrin(n)) {
+      *is_float = false;
+      return ConstI(0);
+    }
+    Fail("vm: unknown call " + name);
+    *is_float = false;
+    return 0;
+  }
+
+  // Mirrors the interpreter's generic tensor-intrinsic ABI (see interp.cc): for each
+  // buffer (output first): (handle, base, stride per dim...), then the extents.
+  bool CompileTensorIntrin(const CallNode* n) {
+    int num_buffers;
+    uint8_t cat;
+    const std::string& name = n->name;
+    if (name == kFillZeroIntrin || name == "fill_zero") {
+      num_buffers = 1;
+      cat = 0;
+    } else if (name == kDmaCopyIntrin || name == "dma_copy") {
+      num_buffers = 2;
+      cat = 1;
+    } else if (name == kGemmIntrin || name == "gemm_update" || name == "bitserial_gemv" ||
+               name == "arm_bitserial_gemv" || name == "fused_gemm_add") {
+      num_buffers = 3;
+      cat = 2;
+    } else {
+      return false;
+    }
+    int total = static_cast<int>(n->args.size());
+    int nt = (total - 2 * num_buffers) / (num_buffers + 1);
+    if (num_buffers * (2 + nt) + nt != total) {
+      Fail("bad intrinsic arity for " + name);
+      return true;
+    }
+    TensorIntrinDesc desc;
+    desc.category = cat;
+    desc.nt = nt;
+    int32_t mark = top_;
+    int pos = 0;
+    for (int b = 0; b < num_buffers; ++b) {
+      if (n->args[static_cast<size_t>(pos)]->kind != ExprKind::kVar) {
+        Fail("tensor intrinsic expects a buffer handle");
+        return true;
+      }
+      desc.buf_slot.push_back(
+          BufferSlotOf(static_cast<const VarNode*>(n->args[static_cast<size_t>(pos)].get())));
+      ++pos;
+      bool f = false;
+      int32_t r = CompileExpr(n->args[static_cast<size_t>(pos++)], &f);
+      desc.base_reg.push_back(EnsureInt(r, f));
+      for (int d = 0; d < nt; ++d) {
+        r = CompileExpr(n->args[static_cast<size_t>(pos++)], &f);
+        desc.stride_reg.push_back(EnsureInt(r, f));
+      }
+    }
+    for (int d = 0; d < nt; ++d) {
+      bool f = false;
+      int32_t r = CompileExpr(n->args[static_cast<size_t>(pos++)], &f);
+      desc.extent_reg.push_back(EnsureInt(r, f));
+    }
+    prog_.intrins.push_back(std::move(desc));
+    Emit({Op::kTensorIntrin, 0, 0, 0, 0, 0,
+          static_cast<int32_t>(prog_.intrins.size()) - 1});
+    top_ = mark;
+    return true;
+  }
+
+  // --- statements ------------------------------------------------------------
+  void CompileStmt(const Stmt& s) {
+    if (s == nullptr || !ok_) {
+      return;
+    }
+    switch (s->kind) {
+      case StmtKind::kLetStmt: {
+        const auto* n = static_cast<const LetStmtNode*>(s.get());
+        int32_t mark = top_;
+        bool fv = false;
+        int32_t rv = CompileExpr(n->value, &fv);
+        {
+          BindVar bind(this, n->var.get(), VarBinding{rv, fv});
+          CompileStmt(n->body);
+        }
+        top_ = mark;
+        break;
+      }
+      case StmtKind::kAttrStmt:
+        CompileStmt(static_cast<const AttrStmtNode*>(s.get())->body);
+        break;
+      case StmtKind::kAssert: {
+        const auto* n = static_cast<const AssertStmtNode*>(s.get());
+        int32_t mark = top_;
+        bool fc = false;
+        int32_t rc = CompileExpr(n->condition, &fc);
+        rc = EnsureBool(rc, fc);
+        prog_.messages.push_back("assert failed: " + n->message);
+        Emit({Op::kAssert, 0, 0, 0, rc, 0,
+              static_cast<int32_t>(prog_.messages.size()) - 1});
+        top_ = mark;
+        CompileStmt(n->body);
+        break;
+      }
+      case StmtKind::kStore:
+        CompileStore(static_cast<const StoreNode*>(s.get()));
+        break;
+      case StmtKind::kAllocate: {
+        const auto* n = static_cast<const AllocateNode*>(s.get());
+        if (n->dtype.lanes() != 1) {
+          Fail("vm cannot allocate vector buffer " + n->buffer_var->name);
+          return;
+        }
+        int32_t slot = NewBufferSlot(n->dtype);
+        int32_t mark = top_;
+        int32_t size = ConstI(1);
+        bool first = true;
+        for (const Expr& e : n->extents) {
+          bool f = false;
+          int32_t r = EnsureInt(CompileExpr(e, &f), f);
+          if (first) {
+            size = r;
+            first = false;
+          } else {
+            int32_t prod = AllocReg();
+            Emit({Op::kMulI, 0, 0, prod, size, r, 0});
+            size = prod;
+          }
+        }
+        Emit({Op::kAlloc, static_cast<uint8_t>(ElemKindOf(n->dtype)), 0, 0, size, 0,
+              slot});
+        top_ = mark;
+        {
+          BindBuf bind(this, n->buffer_var.get(), slot);
+          CompileStmt(n->body);
+        }
+        break;
+      }
+      case StmtKind::kFor:
+        CompileFor(static_cast<const ForNode*>(s.get()));
+        break;
+      case StmtKind::kIfThenElse: {
+        const auto* n = static_cast<const IfThenElseNode*>(s.get());
+        int32_t mark = top_;
+        bool fc = false;
+        int32_t rc = CompileExpr(n->condition, &fc);
+        rc = EnsureBool(rc, fc);
+        int32_t jz = Emit({Op::kJmpIfZero, 0, 0, 0, rc, 0, 0});
+        top_ = mark;
+        CompileStmt(n->then_case);
+        if (n->else_case != nullptr) {
+          int32_t jend = Emit({Op::kJmp, 0, 0, 0, 0, 0, 0});
+          PatchTarget(jz, Here());
+          CompileStmt(n->else_case);
+          PatchTarget(jend, Here());
+        } else {
+          PatchTarget(jz, Here());
+        }
+        break;
+      }
+      case StmtKind::kSeq: {
+        const auto* n = static_cast<const SeqStmtNode*>(s.get());
+        for (const Stmt& st : n->seq) {
+          CompileStmt(st);
+        }
+        break;
+      }
+      case StmtKind::kEvaluate: {
+        int32_t mark = top_;
+        bool f = false;
+        CompileExpr(static_cast<const EvaluateNode*>(s.get())->value, &f);
+        top_ = mark;
+        break;
+      }
+    }
+  }
+
+  void CompileStore(const StoreNode* n) {
+    int32_t slot = BufferSlotOf(n->buffer_var.get());
+    if (!ok_) {
+      return;
+    }
+    ElemKind kind = buf_kind_[static_cast<size_t>(slot)];
+    if (n->value->dtype.lanes() != 1) {
+      Fail("vm cannot store vector value into " + n->buffer_var->name);
+      return;
+    }
+    int32_t mark = top_;
+    int32_t jz = -1;
+    if (n->predicate != nullptr) {
+      bool fp = false;
+      int32_t rp = CompileExpr(n->predicate, &fp);
+      rp = EnsureBool(rp, fp);
+      jz = Emit({Op::kJmpIfZero, 0, 0, 0, rp, 0, 0});
+      top_ = mark;
+    }
+    // Interp evaluates index before value (trap order).
+    bool fi = false;
+    int32_t ri = EnsureInt(CompileExpr(n->index, &fi), fi);
+    bool fv = false;
+    int32_t rv = CompileExpr(n->value, &fv);
+    Op op;
+    if (kind == kF32 || kind == kF16) {
+      rv = EnsureFloat(rv, fv);  // WriteElem narrows through AsF
+      op = kind == kF16 ? Op::kStoreF16 : Op::kStoreF32;
+    } else {
+      rv = EnsureInt(rv, fv);
+      op = kind == kI8 ? Op::kStoreI8 : (kind == kI32 ? Op::kStoreI32 : Op::kStoreI64);
+    }
+    Emit({op, 0, 0, 0, rv, ri, slot});
+    if (jz >= 0) {
+      PatchTarget(jz, Here());
+    }
+    top_ = mark;
+  }
+
+  static bool UsesAnyVar(const Expr& e, const std::unordered_set<const VarNode*>& vars) {
+    bool uses = false;
+    PostOrderVisit(e, [&](const Expr& x) {
+      uses |= x->kind == ExprKind::kVar &&
+              vars.count(static_cast<const VarNode*>(x.get())) > 0;
+    });
+    return uses;
+  }
+
+  // True when chunking `body` across workers could race: it writes a buffer allocated
+  // *outside* the loop (workers would share that single scratch storage), or it writes
+  // an argument buffer at an index that does not depend on the parallel loop variable
+  // (e.g. a reduction axis marked parallel — every chunk would read-modify-write the
+  // same elements). `dep` is the loop var plus let-vars derived from it. Hazardous
+  // loops execute serially on the VM, matching the interpreter. Stores to body-local
+  // allocations (which workers privatize, unbound at this pre-scan) stay parallel.
+  bool ParallelHazard(const Stmt& s, std::unordered_set<const VarNode*>* dep) {
+    if (s == nullptr) {
+      return false;
+    }
+    switch (s->kind) {
+      case StmtKind::kLetStmt: {
+        const auto* n = static_cast<const LetStmtNode*>(s.get());
+        if (UsesAnyVar(n->value, *dep)) {
+          dep->insert(n->var.get());
+        }
+        return ParallelHazard(n->body, dep);
+      }
+      case StmtKind::kAttrStmt:
+        return ParallelHazard(static_cast<const AttrStmtNode*>(s.get())->body, dep);
+      case StmtKind::kAssert:
+        return ParallelHazard(static_cast<const AssertStmtNode*>(s.get())->body, dep);
+      case StmtKind::kAllocate:
+        return ParallelHazard(static_cast<const AllocateNode*>(s.get())->body, dep);
+      case StmtKind::kFor:
+        return ParallelHazard(static_cast<const ForNode*>(s.get())->body, dep);
+      case StmtKind::kIfThenElse: {
+        const auto* n = static_cast<const IfThenElseNode*>(s.get());
+        return ParallelHazard(n->then_case, dep) || ParallelHazard(n->else_case, dep);
+      }
+      case StmtKind::kSeq: {
+        bool hazard = false;
+        for (const Stmt& st : static_cast<const SeqStmtNode*>(s.get())->seq) {
+          hazard |= ParallelHazard(st, dep);
+        }
+        return hazard;
+      }
+      case StmtKind::kStore: {
+        const auto* n = static_cast<const StoreNode*>(s.get());
+        auto it = buf_of_.find(n->buffer_var.get());
+        if (it == buf_of_.end()) {
+          return false;  // body-local allocation: worker-private
+        }
+        if (it->second >= prog_.num_args) {
+          return true;  // outer scratch allocation shared by all workers
+        }
+        return !UsesAnyVar(n->index, *dep);
+      }
+      case StmtKind::kEvaluate: {
+        const Expr& v = static_cast<const EvaluateNode*>(s.get())->value;
+        if (v->kind != ExprKind::kCall) {
+          return false;
+        }
+        const auto* call = static_cast<const CallNode*>(v.get());
+        // Tensor intrinsics write their first buffer (handle, base, strides...).
+        if (call->args.size() < 2 || call->args[0]->kind != ExprKind::kVar ||
+            call->name == kSyncIntrin || call->name == kPushDepIntrin ||
+            call->name == kPopDepIntrin) {
+          return false;
+        }
+        auto it = buf_of_.find(static_cast<const VarNode*>(call->args[0].get()));
+        if (it == buf_of_.end()) {
+          return false;
+        }
+        if (it->second >= prog_.num_args) {
+          return true;
+        }
+        return !UsesAnyVar(call->args[1], *dep);  // output base must track the loop var
+      }
+    }
+    return false;
+  }
+
+  void CompileFor(const ForNode* n) {
+    int32_t mark = top_;
+    bool fm = false, fe = false;
+    int32_t rmin = EnsureInt(CompileExpr(n->min, &fm), fm);
+    int32_t rext = EnsureInt(CompileExpr(n->extent, &fe), fe);
+    int32_t rbound = AllocReg();
+    Emit({Op::kAddI, 0, 0, rbound, rmin, rext, 0});
+    int32_t loop_reg = AllocReg();
+    std::unordered_set<const VarNode*> dep{n->loop_var.get()};
+    bool parallel = n->for_type == ForType::kParallel && !in_parallel_ &&
+                    !ParallelHazard(n->body, &dep);
+    BindVar bind(this, n->loop_var.get(), VarBinding{loop_reg, false});
+    if (parallel) {
+      // The loop body becomes a detached instruction range: the kParFor handler runs it
+      // once per iteration (chunked across workers), then resumes at body_end.
+      prog_.has_parallel = true;
+      prog_.parfors.push_back(ParForDesc{});
+      int32_t desc_idx = static_cast<int32_t>(prog_.parfors.size()) - 1;
+      Emit({Op::kParFor, 0, 0, 0, 0, 0, desc_idx});
+      int32_t body_begin = Here();
+      in_parallel_ = true;
+      CompileStmt(n->body);
+      in_parallel_ = false;
+      ParForDesc& d = prog_.parfors[static_cast<size_t>(desc_idx)];
+      d.loop_reg = loop_reg;
+      d.min_reg = rmin;
+      d.bound_reg = rbound;
+      d.body_begin = body_begin;
+      d.body_end = Here();
+    } else {
+      Emit({Op::kMov, 0, 0, loop_reg, rmin, 0, 0});
+      int32_t test = Emit({Op::kJmpGeI, 0, 0, 0, loop_reg, rbound, 0});
+      CompileStmt(n->body);
+      Emit({Op::kIncI, 0, 0, loop_reg, 0, 0, 0});
+      Emit({Op::kJmp, 0, 0, 0, 0, 0, test});
+      PatchTarget(test, Here());
+    }
+    top_ = mark;
+  }
+
+  // Rewrites negative constant placeholders to dense register slots above the scoped
+  // high-water mark and materializes the initial register image.
+  void Finalize() {
+    auto fix = [this](int32_t& r) {
+      if (r < 0) {
+        r = max_top_ + (-r - 1);
+      }
+    };
+    for (Instr& in : prog_.code) {
+      fix(in.dst);
+      fix(in.a);
+      fix(in.b);
+    }
+    for (TensorIntrinDesc& d : prog_.intrins) {
+      for (int32_t& r : d.base_reg) fix(r);
+      for (int32_t& r : d.stride_reg) fix(r);
+      for (int32_t& r : d.extent_reg) fix(r);
+    }
+    for (ParForDesc& d : prog_.parfors) {
+      fix(d.loop_reg);
+      fix(d.min_reg);
+      fix(d.bound_reg);
+    }
+    prog_.reg_init.assign(static_cast<size_t>(max_top_) + const_vals_.size(), VMValue{});
+    for (size_t k = 0; k < const_vals_.size(); ++k) {
+      prog_.reg_init[static_cast<size_t>(max_top_) + k] = const_vals_[k];
+    }
+  }
+
+  Program prog_;
+  std::unordered_map<const VarNode*, VarBinding> var_of_;
+  std::unordered_map<const VarNode*, int32_t> buf_of_;
+  std::vector<ElemKind> buf_kind_;  // per slot
+  std::unordered_map<uint64_t, int32_t> int_const_ids_;
+  std::unordered_map<uint64_t, int32_t> float_const_ids_;
+  std::vector<VMValue> const_vals_;
+  int32_t top_ = 0;
+  int32_t max_top_ = 0;
+  bool in_parallel_ = false;
+  bool ok_ = true;
+  std::string fail_reason_;
+};
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+struct VMBuffer {
+  void* data = nullptr;
+  int64_t num_elements = 0;
+  uint8_t kind = kF32;
+};
+
+struct ExecState {
+  std::vector<VMValue> regs;
+  std::vector<VMBuffer> bufs;
+  std::vector<std::vector<char>> owned;  // per-slot storage for kAlloc buffers
+};
+
+int ElemBytes(uint8_t kind) {
+  switch (kind) {
+    case kI8: return 1;
+    case kI64: return 8;
+    default: return 4;  // kF32/kF16 stored as float, kI32 as int32
+  }
+}
+
+[[noreturn]] void BoundsFail(int64_t idx, int64_t n) {
+  LOG(FATAL) << (idx < 0 ? "buffer underflow" : "buffer overflow") << ": index " << idx
+             << " of " << n;
+  std::abort();  // unreachable: LOG(FATAL) throws
+}
+
+inline void CheckBounds(const VMBuffer& b, int64_t idx) {
+  if (idx < 0 || idx >= b.num_elements) {
+    BoundsFail(idx, b.num_elements);
+  }
+}
+
+// Scalar value with a runtime type tag, used only by the tensor-intrinsic helper to
+// mirror the interpreter's mixed-type MAC semantics.
+struct ScalarVal {
+  double f = 0;
+  int64_t i = 0;
+  bool is_float = false;
+  double AsF() const { return is_float ? f : static_cast<double>(i); }
+};
+
+ScalarVal ReadBuf(const VMBuffer& b, int64_t idx) {
+  CheckBounds(b, idx);
+  ScalarVal v;
+  switch (b.kind) {
+    case kF32:
+    case kF16:
+      v.f = static_cast<const float*>(b.data)[idx];
+      v.is_float = true;
+      break;
+    case kI8:
+      v.i = static_cast<const int8_t*>(b.data)[idx];
+      break;
+    case kI32:
+      v.i = static_cast<const int32_t*>(b.data)[idx];
+      break;
+    default:
+      v.i = static_cast<const int64_t*>(b.data)[idx];
+      break;
+  }
+  return v;
+}
+
+void WriteBuf(VMBuffer& b, int64_t idx, const ScalarVal& v) {
+  CheckBounds(b, idx);
+  switch (b.kind) {
+    case kF32:
+      static_cast<float*>(b.data)[idx] = static_cast<float>(v.AsF());
+      break;
+    case kF16:
+      static_cast<float*>(b.data)[idx] = QuantizeFloat16(static_cast<float>(v.AsF()));
+      break;
+    case kI8:
+      static_cast<int8_t*>(b.data)[idx] = static_cast<int8_t>(v.is_float
+                                                                  ? static_cast<int64_t>(v.f)
+                                                                  : v.i);
+      break;
+    case kI32:
+      static_cast<int32_t*>(b.data)[idx] = static_cast<int32_t>(
+          v.is_float ? static_cast<int64_t>(v.f) : v.i);
+      break;
+    default:
+      static_cast<int64_t*>(b.data)[idx] = v.is_float ? static_cast<int64_t>(v.f) : v.i;
+      break;
+  }
+}
+
+int DefaultNumThreads() {
+  static const int n = [] {
+    if (const char* s = std::getenv("TVMCPP_NUM_THREADS")) {
+      int v = std::atoi(s);
+      if (v > 0) {
+        return v;
+      }
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 1;
+  }();
+  return n;
+}
+
+// Shared worker pool for kParallel loops. Sized at least 4 so chunked execution is
+// exercised (and deterministic) even on small machines.
+ThreadPool* WorkerPool() {
+  static ThreadPool pool(std::max(DefaultNumThreads(), 4));
+  return &pool;
+}
+
+void RunRange(const Program& p, ExecState& st, int32_t pc, int32_t end,
+              const ExecOptions& opt);
+
+void ExecTensorIntrin(const Program& p, ExecState& st, const TensorIntrinDesc& d) {
+  int num_buffers = static_cast<int>(d.buf_slot.size());
+  int nt = d.nt;
+  struct Access {
+    VMBuffer* buf;
+    int64_t base;
+    const int32_t* strides;
+  };
+  Access acc[3];
+  for (int b = 0; b < num_buffers; ++b) {
+    acc[b].buf = &st.bufs[static_cast<size_t>(d.buf_slot[static_cast<size_t>(b)])];
+    acc[b].base = st.regs[static_cast<size_t>(d.base_reg[static_cast<size_t>(b)])].i;
+    acc[b].strides = d.stride_reg.data() + b * nt;
+  }
+  std::vector<int64_t> extents(static_cast<size_t>(nt));
+  for (int t = 0; t < nt; ++t) {
+    extents[static_cast<size_t>(t)] =
+        st.regs[static_cast<size_t>(d.extent_reg[static_cast<size_t>(t)])].i;
+  }
+  std::vector<int64_t> idx(static_cast<size_t>(nt), 0);
+  auto offset = [&](const Access& a) {
+    int64_t off = a.base;
+    for (int t = 0; t < nt; ++t) {
+      off += idx[static_cast<size_t>(t)] * st.regs[static_cast<size_t>(a.strides[t])].i;
+    }
+    return off;
+  };
+  do {  // the body runs at least once (nt == 0 means a single scalar update)
+    switch (d.category) {
+      case 0: {  // fill
+        ScalarVal zero;
+        zero.is_float = acc[0].buf->kind == kF32 || acc[0].buf->kind == kF16;
+        WriteBuf(*acc[0].buf, offset(acc[0]), zero);
+        break;
+      }
+      case 1:  // copy
+        WriteBuf(*acc[0].buf, offset(acc[0]), ReadBuf(*acc[1].buf, offset(acc[1])));
+        break;
+      default: {  // mac
+        ScalarVal out = ReadBuf(*acc[0].buf, offset(acc[0]));
+        ScalarVal a = ReadBuf(*acc[1].buf, offset(acc[1]));
+        ScalarVal b = ReadBuf(*acc[2].buf, offset(acc[2]));
+        ScalarVal r;
+        if (out.is_float || a.is_float || b.is_float) {
+          r.f = out.AsF() + a.AsF() * b.AsF();
+          r.is_float = true;
+        } else {
+          r.i = out.i + a.i * b.i;
+        }
+        WriteBuf(*acc[0].buf, offset(acc[0]), r);
+        break;
+      }
+    }
+    int t = nt - 1;
+    while (t >= 0) {
+      if (++idx[static_cast<size_t>(t)] < extents[static_cast<size_t>(t)]) {
+        break;
+      }
+      idx[static_cast<size_t>(t)] = 0;
+      --t;
+    }
+    if (t < 0) {
+      break;
+    }
+  } while (true);
+}
+
+int ResolveThreads(const ExecOptions& opt) {
+  return opt.num_threads > 0 ? opt.num_threads : DefaultNumThreads();
+}
+
+void ExecParFor(const Program& p, ExecState& st, const ParForDesc& d,
+                const ExecOptions& opt) {
+  int64_t lo = st.regs[static_cast<size_t>(d.min_reg)].i;
+  int64_t hi = st.regs[static_cast<size_t>(d.bound_reg)].i;
+  int64_t ext = hi - lo;
+  int threads = ResolveThreads(opt);
+  if (ext <= 1 || threads <= 1) {
+    for (int64_t v = lo; v < hi; ++v) {
+      st.regs[static_cast<size_t>(d.loop_reg)].i = v;
+      RunRange(p, st, d.body_begin, d.body_end, opt);
+    }
+    return;
+  }
+  // Deterministic chunking: one contiguous block per chunk. Iterations of a kParallel
+  // loop are independent by construction, so results are bitwise identical for any
+  // chunk count; only the assignment of iterations to workers changes.
+  int nchunks = static_cast<int>(std::min<int64_t>(ext, threads));
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(nchunks));
+  for (int c = 0; c < nchunks; ++c) {
+    int64_t begin = lo + ext * c / nchunks;
+    int64_t chunk_end = lo + ext * (c + 1) / nchunks;
+    futures.push_back(WorkerPool()->Submit([&p, &st, &d, &opt, begin, chunk_end] {
+      // Workers clone the register file and buffer table: loop-invariant values and
+      // outer buffers are shared read-only, while registers written in the body and
+      // buffers allocated in the body stay private to the worker.
+      ExecState local;
+      local.regs = st.regs;
+      local.bufs = st.bufs;
+      local.owned.resize(st.owned.size());
+      for (int64_t v = begin; v < chunk_end; ++v) {
+        local.regs[static_cast<size_t>(d.loop_reg)].i = v;
+        RunRange(p, local, d.body_begin, d.body_end, opt);
+      }
+    }));
+  }
+  std::exception_ptr err;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!err) {
+        err = std::current_exception();
+      }
+    }
+  }
+  if (err) {
+    std::rethrow_exception(err);
+  }
+}
+
+void RunRange(const Program& p, ExecState& st, int32_t pc, int32_t end,
+              const ExecOptions& opt) {
+  const Instr* code = p.code.data();
+  VMValue* r = st.regs.data();
+  while (pc < end) {
+    const Instr& in = code[pc];
+    switch (in.op) {
+      case Op::kMov: r[in.dst] = r[in.a]; ++pc; break;
+      case Op::kIntToFloat: r[in.dst].f = static_cast<double>(r[in.a].i); ++pc; break;
+      case Op::kFloatToInt: r[in.dst].i = static_cast<int64_t>(r[in.a].f); ++pc; break;
+      case Op::kWrapInt: {
+        int64_t i = r[in.a].i;
+        int64_t mod = int64_t{1} << in.bits;
+        i = ((i % mod) + mod) % mod;
+        if (in.flag != 0 && i >= (mod >> 1)) {
+          i -= mod;
+        }
+        r[in.dst].i = i;
+        ++pc;
+        break;
+      }
+      case Op::kQuantF16:
+        r[in.dst].f = static_cast<double>(QuantizeFloat16(static_cast<float>(r[in.a].f)));
+        ++pc;
+        break;
+      case Op::kAddI: r[in.dst].i = r[in.a].i + r[in.b].i; ++pc; break;
+      case Op::kAddF: r[in.dst].f = r[in.a].f + r[in.b].f; ++pc; break;
+      case Op::kSubI: r[in.dst].i = r[in.a].i - r[in.b].i; ++pc; break;
+      case Op::kSubF: r[in.dst].f = r[in.a].f - r[in.b].f; ++pc; break;
+      case Op::kMulI: r[in.dst].i = r[in.a].i * r[in.b].i; ++pc; break;
+      case Op::kMulF: r[in.dst].f = r[in.a].f * r[in.b].f; ++pc; break;
+      case Op::kDivF: r[in.dst].f = r[in.a].f / r[in.b].f; ++pc; break;
+      case Op::kFloorDivI: r[in.dst].i = FloorDiv(r[in.a].i, r[in.b].i); ++pc; break;
+      case Op::kFloorModI: r[in.dst].i = FloorMod(r[in.a].i, r[in.b].i); ++pc; break;
+      case Op::kMinI: r[in.dst].i = std::min(r[in.a].i, r[in.b].i); ++pc; break;
+      case Op::kMinF: r[in.dst].f = std::min(r[in.a].f, r[in.b].f); ++pc; break;
+      case Op::kMaxI: r[in.dst].i = std::max(r[in.a].i, r[in.b].i); ++pc; break;
+      case Op::kMaxF: r[in.dst].f = std::max(r[in.a].f, r[in.b].f); ++pc; break;
+      case Op::kEqI: r[in.dst].i = r[in.a].i == r[in.b].i; ++pc; break;
+      case Op::kEqF: r[in.dst].i = r[in.a].f == r[in.b].f; ++pc; break;
+      case Op::kNeI: r[in.dst].i = r[in.a].i != r[in.b].i; ++pc; break;
+      case Op::kNeF: r[in.dst].i = r[in.a].f != r[in.b].f; ++pc; break;
+      case Op::kLtI: r[in.dst].i = r[in.a].i < r[in.b].i; ++pc; break;
+      case Op::kLtF: r[in.dst].i = r[in.a].f < r[in.b].f; ++pc; break;
+      case Op::kLeI: r[in.dst].i = r[in.a].i <= r[in.b].i; ++pc; break;
+      case Op::kLeF: r[in.dst].i = r[in.a].f <= r[in.b].f; ++pc; break;
+      case Op::kGtI: r[in.dst].i = r[in.a].i > r[in.b].i; ++pc; break;
+      case Op::kGtF: r[in.dst].i = r[in.a].f > r[in.b].f; ++pc; break;
+      case Op::kGeI: r[in.dst].i = r[in.a].i >= r[in.b].i; ++pc; break;
+      case Op::kGeF: r[in.dst].i = r[in.a].f >= r[in.b].f; ++pc; break;
+      case Op::kAnd: r[in.dst].i = (r[in.a].i != 0) && (r[in.b].i != 0); ++pc; break;
+      case Op::kOr: r[in.dst].i = (r[in.a].i != 0) || (r[in.b].i != 0); ++pc; break;
+      case Op::kNot: r[in.dst].i = r[in.a].i != 0 ? 0 : 1; ++pc; break;
+      case Op::kBoolF: r[in.dst].i = r[in.a].f != 0; ++pc; break;
+      case Op::kJmp: pc = in.idx; break;
+      case Op::kJmpIfZero: pc = r[in.a].i == 0 ? in.idx : pc + 1; break;
+      case Op::kJmpGeI: pc = r[in.a].i >= r[in.b].i ? in.idx : pc + 1; break;
+      case Op::kIncI: ++r[in.dst].i; ++pc; break;
+      case Op::kLoadF32: {
+        const VMBuffer& b = st.bufs[static_cast<size_t>(in.idx)];
+        int64_t i = r[in.a].i;
+        CheckBounds(b, i);
+        r[in.dst].f = static_cast<const float*>(b.data)[i];
+        ++pc;
+        break;
+      }
+      case Op::kLoadI8: {
+        const VMBuffer& b = st.bufs[static_cast<size_t>(in.idx)];
+        int64_t i = r[in.a].i;
+        CheckBounds(b, i);
+        r[in.dst].i = static_cast<const int8_t*>(b.data)[i];
+        ++pc;
+        break;
+      }
+      case Op::kLoadI32: {
+        const VMBuffer& b = st.bufs[static_cast<size_t>(in.idx)];
+        int64_t i = r[in.a].i;
+        CheckBounds(b, i);
+        r[in.dst].i = static_cast<const int32_t*>(b.data)[i];
+        ++pc;
+        break;
+      }
+      case Op::kLoadI64: {
+        const VMBuffer& b = st.bufs[static_cast<size_t>(in.idx)];
+        int64_t i = r[in.a].i;
+        CheckBounds(b, i);
+        r[in.dst].i = static_cast<const int64_t*>(b.data)[i];
+        ++pc;
+        break;
+      }
+      case Op::kStoreF32: {
+        VMBuffer& b = st.bufs[static_cast<size_t>(in.idx)];
+        int64_t i = r[in.b].i;
+        CheckBounds(b, i);
+        static_cast<float*>(b.data)[i] = static_cast<float>(r[in.a].f);
+        ++pc;
+        break;
+      }
+      case Op::kStoreF16: {
+        VMBuffer& b = st.bufs[static_cast<size_t>(in.idx)];
+        int64_t i = r[in.b].i;
+        CheckBounds(b, i);
+        static_cast<float*>(b.data)[i] =
+            QuantizeFloat16(static_cast<float>(r[in.a].f));
+        ++pc;
+        break;
+      }
+      case Op::kStoreI8: {
+        VMBuffer& b = st.bufs[static_cast<size_t>(in.idx)];
+        int64_t i = r[in.b].i;
+        CheckBounds(b, i);
+        static_cast<int8_t*>(b.data)[i] = static_cast<int8_t>(r[in.a].i);
+        ++pc;
+        break;
+      }
+      case Op::kStoreI32: {
+        VMBuffer& b = st.bufs[static_cast<size_t>(in.idx)];
+        int64_t i = r[in.b].i;
+        CheckBounds(b, i);
+        static_cast<int32_t*>(b.data)[i] = static_cast<int32_t>(r[in.a].i);
+        ++pc;
+        break;
+      }
+      case Op::kStoreI64: {
+        VMBuffer& b = st.bufs[static_cast<size_t>(in.idx)];
+        int64_t i = r[in.b].i;
+        CheckBounds(b, i);
+        static_cast<int64_t*>(b.data)[i] = r[in.a].i;
+        ++pc;
+        break;
+      }
+      case Op::kAlloc: {
+        int64_t elems = r[in.a].i;
+        std::vector<char>& storage = st.owned[static_cast<size_t>(in.idx)];
+        storage.assign(static_cast<size_t>(elems * ElemBytes(in.flag)), 0);
+        st.bufs[static_cast<size_t>(in.idx)] =
+            VMBuffer{storage.data(), elems, in.flag};
+        ++pc;
+        break;
+      }
+      case Op::kCallUnary: {
+        double x = r[in.a].f;
+        double y;
+        switch (in.flag) {
+          case kExp: y = std::exp(x); break;
+          case kLog: y = std::log(x); break;
+          case kSqrt: y = std::sqrt(x); break;
+          case kTanh: y = std::tanh(x); break;
+          default: y = 1.0 / (1.0 + std::exp(-x)); break;
+        }
+        r[in.dst].f = y;
+        ++pc;
+        break;
+      }
+      case Op::kPopcount:
+        r[in.dst].i = __builtin_popcountll(static_cast<uint64_t>(r[in.a].i));
+        ++pc;
+        break;
+      case Op::kTensorIntrin:
+        ExecTensorIntrin(p, st, p.intrins[static_cast<size_t>(in.idx)]);
+        ++pc;
+        break;
+      case Op::kParFor: {
+        const ParForDesc& d = p.parfors[static_cast<size_t>(in.idx)];
+        ExecParFor(p, st, d, opt);
+        pc = d.body_end;
+        break;
+      }
+      case Op::kAssert:
+        if (r[in.a].i == 0) {
+          LOG(FATAL) << p.messages[static_cast<size_t>(in.idx)];
+        }
+        ++pc;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const Program> CompileToProgram(const LoweredFunc& func) {
+  Stmt body = func.body;
+  if (body == nullptr) {
+    return nullptr;
+  }
+  if (HasThreadIdxBinding(body)) {
+    // Cooperative (barrier-synchronized) programs need block-synchronous serialization,
+    // exactly as the reference interpreter does before execution.
+    body = SerializeThreadBlocks(body);
+  }
+  body = Simplify(body);
+  Compiler compiler;
+  return compiler.Compile(func, body);
+}
+
+void Run(const Program& program, const std::vector<BufferBinding>& args,
+         const ExecOptions& options) {
+  CHECK_EQ(static_cast<int32_t>(args.size()), program.num_args)
+      << "argument count mismatch for " << program.name;
+  ExecState st;
+  st.regs = program.reg_init;
+  st.bufs.assign(static_cast<size_t>(program.num_buffer_slots), VMBuffer{});
+  st.owned.resize(static_cast<size_t>(program.num_buffer_slots));
+  for (size_t i = 0; i < args.size(); ++i) {
+    st.bufs[i] = VMBuffer{args[i].data, args[i].num_elements, program.arg_kind[i]};
+  }
+  RunRange(program, st, 0, static_cast<int32_t>(program.code.size()), options);
+}
+
+bool RunLoweredVM(const LoweredFunc& func, const std::vector<BufferBinding>& args) {
+  struct CacheEntry {
+    Stmt keepalive;  // pins the body so the pointer key cannot be reused
+    std::vector<const VarNode*> arg_vars;  // program slots are positional over these
+    std::shared_ptr<const Program> program;
+  };
+  static std::mutex mu;
+  static std::unordered_map<const StmtNode*, CacheEntry> cache;
+  CHECK_EQ(args.size(), func.args.size()) << "argument count mismatch for " << func.name;
+  auto signature = [&] {
+    std::vector<const VarNode*> sig;
+    for (const BufferArg& a : func.args) {
+      sig.push_back(a.var.get());
+    }
+    return sig;
+  };
+  std::shared_ptr<const Program> program;
+  bool cached = false;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(func.body.get());
+    if (it != cache.end()) {
+      if (it->second.arg_vars == signature()) {
+        program = it->second.program;
+        cached = true;
+      } else {
+        // Same body shared by a func with a different argument list: the cached
+        // program's buffer slots do not apply. Compile fresh, leave the cache alone.
+        cache.erase(it);
+      }
+    }
+  }
+  if (!cached) {
+    program = CompileToProgram(func);
+    std::lock_guard<std::mutex> lock(mu);
+    if (cache.size() >= 1024) {
+      cache.clear();  // crude eviction: bounds pinned ASTs in long-running processes
+    }
+    cache[func.body.get()] = CacheEntry{func.body, signature(), program};
+  }
+  if (program == nullptr) {
+    return false;
+  }
+  Run(*program, args);
+  return true;
+}
+
+int ProgramNumInstructions(const Program& program) {
+  return static_cast<int>(program.code.size());
+}
+
+int ProgramNumRegisters(const Program& program) {
+  return static_cast<int>(program.reg_init.size());
+}
+
+bool ProgramHasParallel(const Program& program) { return program.has_parallel; }
+
+}  // namespace vm
+}  // namespace tvmcpp

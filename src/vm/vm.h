@@ -1,0 +1,57 @@
+// Register-based bytecode VM for lowered loop programs.
+//
+// CompileToProgram lowers a LoweredFunc body once into a flat instruction stream:
+// variables are resolved to dense register slots at compile time (no hash lookups at
+// runtime), constants are pre-folded via Simplify and materialized into an initial
+// register image, loads/stores are specialized per element type, and loop bodies are
+// linear instruction ranges driven by compare-and-branch instructions. Outermost
+// ForType::kParallel loops execute as chunked jobs on a shared ThreadPool.
+//
+// The tree-walking interpreter (src/interp) remains the reference semantics; the VM is
+// bitwise-identical to it by construction (same scalar value model, same evaluation
+// order, same bounds checks, same float16 rounding helper). Unsupported constructs make
+// CompileToProgram return nullptr and callers fall back to the interpreter.
+// See src/vm/README.md for the design notes.
+#ifndef SRC_VM_VM_H_
+#define SRC_VM_VM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/interp/interp.h"
+#include "src/lower/lower.h"
+
+namespace tvmcpp {
+namespace vm {
+
+struct Program;  // defined in vm.cc; opaque to callers
+
+// Compiles `func` into bytecode. Returns nullptr when the body contains a construct the
+// VM does not support (vector Ramp/Broadcast, unknown intrinsics, ...); callers should
+// then fall back to RunLoweredInterp.
+std::shared_ptr<const Program> CompileToProgram(const LoweredFunc& func);
+
+struct ExecOptions {
+  // Worker count for kParallel loops. 0 = TVMCPP_NUM_THREADS env or
+  // std::thread::hardware_concurrency(); 1 = force serial execution.
+  int num_threads = 0;
+};
+
+// Executes a compiled program with `args` bound positionally to the function arguments.
+void Run(const Program& program, const std::vector<BufferBinding>& args,
+         const ExecOptions& options = {});
+
+// Compile-with-cache + execute, used by the RunLowered dispatcher. Programs are cached
+// per function body so repeated runs skip compilation. Returns false when the function
+// cannot be compiled (caller should interpret).
+bool RunLoweredVM(const LoweredFunc& func, const std::vector<BufferBinding>& args);
+
+// Introspection (tests, benches, docs).
+int ProgramNumInstructions(const Program& program);
+int ProgramNumRegisters(const Program& program);
+bool ProgramHasParallel(const Program& program);
+
+}  // namespace vm
+}  // namespace tvmcpp
+
+#endif  // SRC_VM_VM_H_

@@ -1,0 +1,549 @@
+// Differential tests for the bytecode VM (src/vm): every lowered function must produce
+// bitwise-identical output buffers under the VM and the tree-walking reference
+// interpreter, including under parallel-for chunking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/graph/executor.h"
+#include "src/graph/graph.h"
+#include "src/interp/interp.h"
+#include "src/ir/printer.h"
+#include "src/lower/lower.h"
+#include "src/schedule/schedule.h"
+#include "src/support/float16.h"
+#include "src/support/random.h"
+#include "src/te/tensor.h"
+#include "src/topi/nn.h"
+#include "src/topi/schedules.h"
+#include "src/vm/vm.h"
+
+namespace tvmcpp {
+namespace {
+
+// A host buffer with its own storage, cloneable so both engines run on equal inputs.
+struct ArgBuf {
+  std::vector<char> bytes;
+  DataType dtype;
+  int64_t num_elements = 0;
+
+  static ArgBuf Make(int64_t elems, DataType dtype, uint64_t seed) {
+    ArgBuf a;
+    a.dtype = dtype;
+    a.num_elements = elems;
+    a.bytes.assign(static_cast<size_t>(elems * InterpElementBytes(dtype)), 0);
+    Rng rng(seed);
+    if (dtype.is_float()) {
+      float* p = reinterpret_cast<float*>(a.bytes.data());
+      for (int64_t i = 0; i < elems; ++i) {
+        p[i] = static_cast<float>(rng.UniformReal() * 2.0 - 1.0);
+      }
+      if (dtype.bits() == 16) {
+        for (int64_t i = 0; i < elems; ++i) {
+          p[i] = QuantizeFloat16(p[i]);
+        }
+      }
+    } else if (InterpElementBytes(dtype) == 1) {
+      int8_t* p = reinterpret_cast<int8_t*>(a.bytes.data());
+      for (int64_t i = 0; i < elems; ++i) {
+        p[i] = static_cast<int8_t>(rng.Uniform(128)) - 64;
+      }
+    } else {
+      int32_t* p = reinterpret_cast<int32_t*>(a.bytes.data());
+      for (int64_t i = 0; i < elems; ++i) {
+        p[i] = static_cast<int32_t>(rng.Uniform(100));
+      }
+    }
+    return a;
+  }
+
+  BufferBinding Bind() { return BufferBinding{bytes.data(), dtype, num_elements}; }
+};
+
+int64_t NumElems(const Tensor& t) {
+  int64_t n = 1;
+  for (const Expr& e : t.shape()) {
+    n *= get_const_int(e);
+  }
+  return n;
+}
+
+std::vector<ArgBuf> MakeArgs(const std::vector<Tensor>& tensors, uint64_t seed) {
+  std::vector<ArgBuf> args;
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    args.push_back(ArgBuf::Make(NumElems(tensors[i]), tensors[i].dtype(), seed + i * 131));
+  }
+  return args;
+}
+
+// Runs `f` on the interpreter and on the VM (with `vm_threads` parallel-for workers)
+// over identical input copies and asserts every buffer is bitwise identical.
+void ExpectEnginesIdentical(const LoweredFunc& f, const std::vector<ArgBuf>& args,
+                            int vm_threads = 1) {
+  std::shared_ptr<const vm::Program> prog = vm::CompileToProgram(f);
+  ASSERT_NE(prog, nullptr) << "VM failed to compile " << f.name << ":\n"
+                           << ToString(f.body);
+  std::vector<ArgBuf> interp_bufs = args;
+  std::vector<ArgBuf> vm_bufs = args;
+  std::vector<BufferBinding> interp_bind, vm_bind;
+  for (size_t i = 0; i < args.size(); ++i) {
+    interp_bind.push_back(interp_bufs[i].Bind());
+    vm_bind.push_back(vm_bufs[i].Bind());
+  }
+  RunLoweredInterp(f, interp_bind);
+  vm::ExecOptions opts;
+  opts.num_threads = vm_threads;
+  vm::Run(*prog, vm_bind, opts);
+  for (size_t i = 0; i < args.size(); ++i) {
+    ASSERT_EQ(interp_bufs[i].bytes.size(), vm_bufs[i].bytes.size());
+    EXPECT_EQ(std::memcmp(interp_bufs[i].bytes.data(), vm_bufs[i].bytes.data(),
+                          interp_bufs[i].bytes.size()),
+              0)
+        << f.name << ": buffer " << i << " differs between engines (threads="
+        << vm_threads << ")";
+  }
+}
+
+topi::OpWorkload ConvWorkload(int n, int ic, int h, int oc, int k, int stride, int pad) {
+  topi::OpWorkload wl;
+  wl.kind = "conv2d";
+  wl.n = n;
+  wl.ic = ic;
+  wl.h = h;
+  wl.w = h;
+  wl.oc = oc;
+  wl.k = k;
+  wl.stride = stride;
+  wl.pad = pad;
+  return wl;
+}
+
+// --- master-op templates across randomized schedule configs -------------------------
+
+TEST(VmDiff, Conv2dAcrossConfigs) {
+  Target cpu = Target::ArmA53();
+  topi::OpWorkload wl = ConvWorkload(1, 4, 10, 8, 3, 1, 1);
+  topi::ConfigSpace space = topi::GetScheduleSpace(wl, cpu);
+  Rng rng(2024);
+  std::vector<int64_t> indices = {space.IndexOf(topi::DefaultConfig(space))};
+  for (int i = 0; i < 6; ++i) {
+    indices.push_back(static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(space.size()))));
+  }
+  for (int64_t idx : indices) {
+    topi::BuiltOp built = topi::BuildOpCompute(wl);
+    Schedule s = topi::ApplyOpSchedule(wl, cpu, built, space.At(idx));
+    LoweredFunc f = Lower(s, built.Args(), "conv_cfg_" + std::to_string(idx));
+    ExpectEnginesIdentical(f, MakeArgs(built.Args(), 7 + static_cast<uint64_t>(idx)));
+  }
+}
+
+TEST(VmDiff, DenseAcrossConfigs) {
+  Target cpu = Target::ArmA53();
+  topi::OpWorkload wl;
+  wl.kind = "dense";
+  wl.n = 6;
+  wl.k = 32;
+  wl.oc = 24;
+  topi::ConfigSpace space = topi::GetScheduleSpace(wl, cpu);
+  Rng rng(77);
+  for (int i = 0; i < 6; ++i) {
+    int64_t idx = static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(space.size())));
+    topi::BuiltOp built = topi::BuildOpCompute(wl);
+    Schedule s = topi::ApplyOpSchedule(wl, cpu, built, space.At(idx));
+    LoweredFunc f = Lower(s, built.Args(), "dense_cfg_" + std::to_string(idx));
+    ExpectEnginesIdentical(f, MakeArgs(built.Args(), 100 + static_cast<uint64_t>(idx)));
+  }
+}
+
+TEST(VmDiff, DepthwiseConv2d) {
+  Target cpu = Target::ArmA53();
+  topi::OpWorkload wl = ConvWorkload(1, 8, 12, 8, 3, 1, 1);
+  wl.kind = "depthwise_conv2d";
+  topi::BuiltOp built = topi::BuildOpCompute(wl);
+  topi::ConfigSpace space = topi::GetScheduleSpace(wl, cpu);
+  Schedule s = topi::ApplyOpSchedule(wl, cpu, built, topi::DefaultConfig(space));
+  LoweredFunc f = Lower(s, built.Args(), "depthwise");
+  ExpectEnginesIdentical(f, MakeArgs(built.Args(), 55));
+}
+
+// --- fused conv + injective epilogue (the paper's complex-out-fusable pattern) ------
+
+LoweredFunc BuildConvReluFused(const topi::OpWorkload& wl, std::vector<Tensor>* args,
+                               const topi::Config& config) {
+  Tensor data = placeholder({make_int(wl.n), make_int(wl.ic), make_int(wl.h),
+                             make_int(wl.w)},
+                            DataType::Float32(), "data");
+  Tensor kern = placeholder({make_int(wl.oc), make_int(wl.ic), make_int(wl.k),
+                             make_int(wl.k)},
+                            DataType::Float32(), "kern");
+  Tensor conv = topi::Conv2dNCHW(data, kern, wl.stride, wl.pad);
+  Tensor out = topi::Relu(conv);
+  Schedule s = topi::ScheduleFusedGroup(Target::ArmA53(), {out}, conv, config, &wl);
+  *args = {data, kern, out};
+  return Lower(s, *args, "conv_relu_fused");
+}
+
+TEST(VmDiff, Conv2dFusedEpilogue) {
+  topi::OpWorkload wl = ConvWorkload(1, 4, 12, 8, 3, 1, 1);
+  topi::ConfigSpace space = topi::GetScheduleSpace(wl, Target::ArmA53());
+  std::vector<Tensor> args;
+  LoweredFunc f = BuildConvReluFused(wl, &args, topi::DefaultConfig(space));
+  ExpectEnginesIdentical(f, MakeArgs(args, 91));
+}
+
+// --- randomized injective epilogues over the scalar intrinsics ----------------------
+
+TEST(VmDiff, RandomizedInjectiveChains) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed * 7919 + 13);
+    const int n = 48 + static_cast<int>(rng.Uniform(32));
+    Tensor A = placeholder({make_int(n)}, DataType::Float32(), "A");
+    Tensor B = placeholder({make_int(n)}, DataType::Float32(), "B");
+    Tensor C = compute(
+        {make_int(n)},
+        [&](const std::vector<Var>& i) {
+          Expr x = A({i[0]});
+          Expr y = B({i[0]});
+          Expr e = x;
+          int steps = 2 + static_cast<int>(rng.Uniform(5));
+          for (int s = 0; s < steps; ++s) {
+            switch (rng.Uniform(9)) {
+              case 0: e = e + y; break;
+              case 1: e = e * y; break;
+              case 2: e = e - y; break;
+              case 3: e = max(e, y); break;
+              case 4: e = min(e, y); break;
+              case 5: e = tanh(e); break;
+              case 6: e = sigmoid(e); break;
+              case 7: e = exp(min(e, make_float(2.0))); break;
+              default:
+                e = if_then_else(gt(e, make_float(0.0)), e + make_float(1.0),
+                                 y * make_float(0.5));
+                break;
+            }
+          }
+          return e;
+        },
+        "C");
+    Schedule s = create_schedule({C});
+    Stage st = (*s)[C];
+    IterVar o, i;
+    st->split(st->leaf_iter_vars[0], 5 + static_cast<int64_t>(rng.Uniform(12)), &o, &i);
+    LoweredFunc f = Lower(s, {A, B, C}, "chain_" + std::to_string(seed));
+    ExpectEnginesIdentical(f, MakeArgs({A, B, C}, seed + 3000));
+  }
+}
+
+// Regression: the branch-type pre-scan must see let-bound variables. With both arms
+// of the Select reducing to a let-bound float var (no literal to give the type away),
+// misclassifying the arms as int reads the stale .i register field and stores zeros.
+TEST(VmDiff, LetInsideConditionalBranch) {
+  const int n = 32;
+  Var a = make_var("A", DataType::Handle());
+  Var c = make_var("C", DataType::Handle());
+  Var i = make_var("i");
+  Var x = make_var("x", DataType::Float32());
+  Var y = make_var("y", DataType::Float32());
+  Expr av = load(DataType::Float32(), a, i);
+  Expr tbranch = let(x, exp(av), x);
+  Expr fbranch = let(y, tanh(av), y);
+  Expr sel = select(gt(av, make_float(0.0)), tbranch, fbranch);
+  LoweredFunc f;
+  f.name = "let_in_branch";
+  f.args = {BufferArg{a, DataType::Float32(), {n}, "A"},
+            BufferArg{c, DataType::Float32(), {n}, "C"}};
+  f.body = for_stmt(i, make_int(0), make_int(n), store(c, sel, i));
+  std::vector<ArgBuf> args = {ArgBuf::Make(n, DataType::Float32(), 61),
+                              ArgBuf::Make(n, DataType::Float32(), 62)};
+  ExpectEnginesIdentical(f, args);
+  // Sanity: the outputs must not be all zeros (which is what the stale .i read gives).
+  std::vector<ArgBuf> run = args;
+  std::vector<BufferBinding> bind;
+  for (ArgBuf& b : run) {
+    bind.push_back(b.Bind());
+  }
+  RunLoweredInterp(f, bind);
+  const float* out = reinterpret_cast<const float*>(run[1].bytes.data());
+  bool any_nonzero = false;
+  for (int j = 0; j < n; ++j) {
+    any_nonzero |= out[j] != 0.0f;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+// --- tensorized intrinsics ----------------------------------------------------------
+
+TEST(VmDiff, TensorizedGemm) {
+  const int m = 32, n = 24, k = 16;
+  Tensor A = placeholder({make_int(m), make_int(k)}, DataType::Float32(), "A");
+  Tensor B = placeholder({make_int(k), make_int(n)}, DataType::Float32(), "B");
+  IterVar rk = reduce_axis(Range(make_int(0), make_int(k)), "rk");
+  Tensor C = compute({make_int(m), make_int(n)},
+                     [&](const std::vector<Var>& i) {
+                       return sum(A({i[0], rk->var}) * B({rk->var, i[1]}), {rk});
+                     },
+                     "C");
+  Schedule s = create_schedule({C});
+  Stage sc = (*s)[C];
+  IterVar yo, xo, yi, xi, ko, ki;
+  sc->tile(sc->leaf_iter_vars[0], sc->leaf_iter_vars[1], 8, 8, &yo, &xo, &yi, &xi);
+  sc->split(sc->leaf_iter_vars[4], 8, &ko, &ki);
+  sc->reorder({yo, xo, ko, yi, xi, ki});
+
+  Tensor w = placeholder({make_int(8), make_int(8)}, DataType::Float32(), "w");
+  Tensor x = placeholder({make_int(8), make_int(8)}, DataType::Float32(), "x");
+  IterVar k8 = reduce_axis(Range(make_int(0), make_int(8)), "k");
+  Tensor y = compute({make_int(8), make_int(8)},
+                     [&](const std::vector<Var>& i) {
+                       return sum(w({i[0], k8->var}) * x({k8->var, i[1]}), {k8});
+                     },
+                     "gemm8x8");
+  sc->tensorize(yi, decl_tensor_intrin(y, kGemmIntrin, kFillZeroIntrin, kGemmIntrin));
+
+  LoweredFunc f = Lower(s, {A, B, C}, "mm_tensorized");
+  ASSERT_NE(ToString(f.body).find(kGemmIntrin), std::string::npos);
+  ExpectEnginesIdentical(f, MakeArgs({A, B, C}, 42));
+}
+
+// --- parallel-for execution ---------------------------------------------------------
+
+TEST(VmParallel, DeterministicAcrossThreadCounts) {
+  Target cpu = Target::ArmA53();
+  topi::OpWorkload wl = ConvWorkload(1, 8, 16, 16, 3, 1, 1);
+  topi::ConfigSpace space = topi::GetScheduleSpace(wl, cpu);
+  topi::Config config = topi::DefaultConfig(space);
+  config["parallel"] = 1;  // force a kParallel outer loop
+  std::vector<Tensor> args;
+  LoweredFunc f = BuildConvReluFused(wl, &args, config);
+  std::shared_ptr<const vm::Program> prog = vm::CompileToProgram(f);
+  ASSERT_NE(prog, nullptr);
+  EXPECT_TRUE(vm::ProgramHasParallel(*prog)) << ToString(f.body);
+
+  std::vector<ArgBuf> base = MakeArgs(args, 1234);
+  // Interp result is the oracle; the VM must match it bitwise at every thread count.
+  for (int threads : {1, 2, 4, 7}) {
+    ExpectEnginesIdentical(f, base, threads);
+  }
+}
+
+// Regression: a kParallel loop whose body writes scratch allocated *outside* the loop
+// must not be chunked — workers would share the single scratch storage and race. The
+// compiler demotes such loops to serial execution (still on the VM) and results stay
+// identical to the interpreter at any thread count.
+TEST(VmParallel, OuterScratchDemotesToSerial) {
+  const int n = 64;
+  Var a = make_var("A", DataType::Handle());
+  Var c = make_var("C", DataType::Handle());
+  Var scratch = make_var("scratch", DataType::Handle());
+  Var i = make_var("i");
+  Stmt body = seq({
+      store(scratch, load(DataType::Float32(), a, i) * make_float(2.0), make_int(0)),
+      store(c, load(DataType::Float32(), scratch, make_int(0)) + make_float(1.0), i),
+  });
+  Stmt loop = for_stmt(i, make_int(0), make_int(n), body, ForType::kParallel);
+  LoweredFunc f;
+  f.name = "outer_scratch";
+  f.args = {BufferArg{a, DataType::Float32(), {n}, "A"},
+            BufferArg{c, DataType::Float32(), {n}, "C"}};
+  f.body = allocate(scratch, DataType::Float32(), {make_int(1)}, "global", loop);
+
+  std::shared_ptr<const vm::Program> prog = vm::CompileToProgram(f);
+  ASSERT_NE(prog, nullptr);
+  EXPECT_FALSE(vm::ProgramHasParallel(*prog)) << "racy loop was parallelized";
+  std::vector<ArgBuf> args = {ArgBuf::Make(n, DataType::Float32(), 71),
+                              ArgBuf::Make(n, DataType::Float32(), 72)};
+  for (int threads : {1, 4}) {
+    ExpectEnginesIdentical(f, args, threads);
+  }
+}
+
+// Regression: marking a reduction axis parallel (nothing in the schedule API forbids
+// it) yields stores whose index ignores the loop var — chunked workers would
+// read-modify-write the same elements. The compiler must demote the loop to serial.
+TEST(VmParallel, ParallelReductionDemotesToSerial) {
+  const int n = 128;
+  Var a = make_var("A", DataType::Handle());
+  Var c = make_var("C", DataType::Handle());
+  Var rk = make_var("rk");
+  Expr acc = load(DataType::Float32(), c, make_int(0)) + load(DataType::Float32(), a, rk);
+  Stmt loop = for_stmt(rk, make_int(0), make_int(n), store(c, acc, make_int(0)),
+                       ForType::kParallel);
+  LoweredFunc f;
+  f.name = "parallel_reduction";
+  f.args = {BufferArg{a, DataType::Float32(), {n}, "A"},
+            BufferArg{c, DataType::Float32(), {1}, "C"}};
+  f.body = loop;
+  std::shared_ptr<const vm::Program> prog = vm::CompileToProgram(f);
+  ASSERT_NE(prog, nullptr);
+  EXPECT_FALSE(vm::ProgramHasParallel(*prog)) << "racy reduction was parallelized";
+  std::vector<ArgBuf> args = {ArgBuf::Make(n, DataType::Float32(), 81),
+                              ArgBuf::Make(1, DataType::Float32(), 82)};
+  for (int threads : {1, 4}) {
+    ExpectEnginesIdentical(f, args, threads);
+  }
+}
+
+// --- dtype coverage -----------------------------------------------------------------
+
+TEST(VmDiff, Float16StoresQuantize) {
+  const int n = 64;
+  Tensor A = placeholder({make_int(n)}, DataType::Float16(), "A");
+  Tensor B = placeholder({make_int(n)}, DataType::Float16(), "B");
+  Tensor C = compute({make_int(n)},
+                     [&](const std::vector<Var>& i) {
+                       return A({i[0]}) * B({i[0]}) + A({i[0]});
+                     },
+                     "C");
+  Schedule s = create_schedule({C});
+  LoweredFunc f = Lower(s, {A, B, C}, "f16_mad");
+  std::vector<ArgBuf> args = MakeArgs({A, B, C}, 9);
+  ExpectEnginesIdentical(f, args);
+
+  // The interpreter (post half-rounding fix) must actually quantize: every produced
+  // value must be representable in binary16.
+  std::vector<ArgBuf> run = args;
+  std::vector<BufferBinding> bind;
+  for (ArgBuf& a : run) {
+    bind.push_back(a.Bind());
+  }
+  RunLoweredInterp(f, bind);
+  const float* out = reinterpret_cast<const float*>(run[2].bytes.data());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], QuantizeFloat16(out[i])) << "not on the fp16 grid at " << i;
+  }
+}
+
+#if defined(__FLT16_MANT_DIG__)
+TEST(Float16, MatchesHardwareHalf) {
+  // Sweep a mix of normals, subnormals, and rounding-edge values against the
+  // compiler-provided _Float16 conversion.
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    float x = static_cast<float>((rng.UniformReal() * 2.0 - 1.0) *
+                                 std::pow(2.0, static_cast<double>(rng.Uniform(40)) - 20));
+    float ref = static_cast<float>(static_cast<_Float16>(x));
+    EXPECT_EQ(QuantizeFloat16(x), ref) << "x=" << x;
+  }
+  EXPECT_EQ(QuantizeFloat16(65520.0f),
+            static_cast<float>(static_cast<_Float16>(65520.0f)));  // overflow -> inf
+  EXPECT_EQ(QuantizeFloat16(0.0f), 0.0f);
+  EXPECT_TRUE(std::isnan(QuantizeFloat16(std::nanf(""))));
+}
+#endif
+
+TEST(VmDiff, Int8Arithmetic) {
+  const int n = 96;
+  Tensor A = placeholder({make_int(n)}, DataType::Int8(), "A");
+  Tensor B = placeholder({make_int(n)}, DataType::Int8(), "B");
+  Tensor C = compute({make_int(n)},
+                     [&](const std::vector<Var>& i) {
+                       return cast(DataType::Int8(),
+                                   max(A({i[0]}) * B({i[0]}) % make_int(64),
+                                       A({i[0]}) + B({i[0]})));
+                     },
+                     "C");
+  Schedule s = create_schedule({C});
+  LoweredFunc f = Lower(s, {A, B, C}, "i8_kernel");
+  ExpectEnginesIdentical(f, MakeArgs({A, B, C}, 17));
+}
+
+// --- end-to-end graph execution + memory-plan storage sharing -----------------------
+
+TEST(VmGraph, EnginesMatchEndToEndWithPlannedStorage) {
+  // A 4-deep conv+relu chain: fusion yields 4 materialized groups whose intermediates
+  // die one group later, so the memory plan can recycle the earliest buffer.
+  graph::Graph g;
+  int data = g.AddInput("data", {1, 4, 8, 8});
+  int w1 = g.AddConst("w1", {8, 4, 3, 3});
+  int w2 = g.AddConst("w2", {8, 8, 1, 1});
+  int w3 = g.AddConst("w3", {8, 8, 1, 1});
+  int w4 = g.AddConst("w4", {8, 8, 1, 1});
+  int c1 = g.AddOp("conv2d", "conv1", {data, w1}, {{"stride", 1}, {"pad", 1}});
+  int r1 = g.AddOp("relu", "relu1", {c1});
+  int c2 = g.AddOp("conv2d", "conv2", {r1, w2}, {{"stride", 1}, {"pad", 0}});
+  int r2 = g.AddOp("relu", "relu2", {c2});
+  int c3 = g.AddOp("conv2d", "conv3", {r2, w3}, {{"stride", 1}, {"pad", 0}});
+  int r3 = g.AddOp("relu", "relu3", {c3});
+  g.outputs = {g.AddOp("conv2d", "conv4", {r3, w4}, {{"stride", 1}, {"pad", 0}})};
+
+  std::unordered_map<std::string, NDArray> params;
+  params["data"] = NDArray::Random({1, 4, 8, 8}, DataType::Float32(), 3);
+  params["w1"] = NDArray::Random({8, 4, 3, 3}, DataType::Float32(), 4);
+  params["w2"] = NDArray::Random({8, 8, 1, 1}, DataType::Float32(), 5);
+  params["w3"] = NDArray::Random({8, 8, 1, 1}, DataType::Float32(), 6);
+  params["w4"] = NDArray::Random({8, 8, 1, 1}, DataType::Float32(), 7);
+
+  auto run_with = [&](ExecEngine engine) {
+    ExecEngine saved = GetExecEngine();
+    SetExecEngine(engine);
+    graph::GraphExecutor exec(g, Target::ArmA53(), {});
+    for (auto& kv : params) {
+      exec.SetInput(kv.first, kv.second);
+    }
+    exec.Run();
+    NDArray out = exec.GetOutput(0).Copy();
+    SetExecEngine(saved);
+    return out;
+  };
+
+  NDArray vm_out = run_with(ExecEngine::kVm);
+  NDArray interp_out = run_with(ExecEngine::kInterp);
+  ASSERT_EQ(vm_out.NumElements(), interp_out.NumElements());
+  EXPECT_EQ(std::memcmp(vm_out.Data<char>(), interp_out.Data<char>(),
+                        static_cast<size_t>(vm_out.NumElements()) * 4),
+            0)
+      << "graph executor engines disagree";
+
+  // The memory plan must actually reuse intermediate storage.
+  graph::GraphExecutor exec(g, Target::ArmA53(), {});
+  EXPECT_LT(exec.memory_plan().planned_bytes, exec.memory_plan().unplanned_bytes);
+}
+
+// Regression for memory-plan liveness: in a residual graph the skip connection is
+// consumed by an epilogue fused into a much later group, so a planner tracking
+// liveness in node-id order (instead of kernel-execution order) recycles the skip
+// buffer before that kernel reads it. Fused and unfused execution must agree.
+TEST(VmGraph, ResidualGraphFusedMatchesUnfused) {
+  graph::Graph g;
+  int data = g.AddInput("data", {1, 4, 8, 8});
+  int w1 = g.AddConst("w1", {8, 4, 3, 3});
+  int w2 = g.AddConst("w2", {8, 8, 1, 1});
+  int w3 = g.AddConst("w3", {8, 8, 1, 1});
+  int c1 = g.AddOp("conv2d", "conv1", {data, w1}, {{"stride", 1}, {"pad", 1}});
+  int r1 = g.AddOp("relu", "relu1", {c1});
+  int c2 = g.AddOp("conv2d", "conv2", {r1, w2}, {{"stride", 1}, {"pad", 0}});
+  int r2 = g.AddOp("relu", "relu2", {c2});
+  int c3 = g.AddOp("conv2d", "conv3", {r2, w3}, {{"stride", 1}, {"pad", 0}});
+  int res = g.AddOp("add", "res_add", {c3, r1});  // skip connection from relu1
+  g.outputs = {g.AddOp("relu", "relu_out", {res})};
+
+  std::unordered_map<std::string, NDArray> params;
+  params["data"] = NDArray::Random({1, 4, 8, 8}, DataType::Float32(), 21);
+  params["w1"] = NDArray::Random({8, 4, 3, 3}, DataType::Float32(), 22);
+  params["w2"] = NDArray::Random({8, 8, 1, 1}, DataType::Float32(), 23);
+  params["w3"] = NDArray::Random({8, 8, 1, 1}, DataType::Float32(), 24);
+
+  auto run_with = [&](bool fusion) {
+    graph::CompileOptions opts;
+    opts.enable_fusion = fusion;
+    graph::GraphExecutor exec(g, Target::ArmA53(), opts);
+    for (auto& kv : params) {
+      exec.SetInput(kv.first, kv.second);
+    }
+    exec.Run();
+    return exec.GetOutput(0).Copy();
+  };
+
+  NDArray fused = run_with(true);
+  NDArray unfused = run_with(false);
+  ASSERT_EQ(fused.NumElements(), unfused.NumElements());
+  for (int64_t i = 0; i < fused.NumElements(); ++i) {
+    ASSERT_NEAR(fused.Data<float>()[i], unfused.Data<float>()[i], 1e-5) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tvmcpp
