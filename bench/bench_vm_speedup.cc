@@ -4,6 +4,7 @@
 // and a dense kernel, single-threaded, then parallel-for scaling of the VM across
 // worker counts. Emits machine-readable JSON lines via PrintBenchJson.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -88,7 +89,7 @@ BuiltKernel BuildConvRelu(bool parallel) {
   return k;
 }
 
-BuiltKernel BuildDense() {
+BuiltKernel BuildDense(int64_t vectorize = -1) {
   topi::OpWorkload wl;
   wl.kind = "dense";
   wl.n = 16;
@@ -98,12 +99,42 @@ BuiltKernel BuildDense() {
   Target cpu = Target::ArmA53();
   topi::Config config = topi::DefaultConfig(topi::GetScheduleSpace(wl, cpu));
   config["parallel"] = 0;
+  if (vectorize >= 0) {
+    config["vectorize"] = vectorize;
+  }
   Schedule s = topi::ApplyOpSchedule(wl, cpu, built, config);
   BuiltKernel k;
   k.func = Lower(s, built.Args(), "dense");
   for (size_t i = 0; i < built.Args().size(); ++i) {
     k.bufs.push_back(RandomBuf(NumElems(built.Args()[i]), DataType::Float32(), 10 + i));
   }
+  return k;
+}
+
+// Elementwise chain with an explicitly vectorized (or serial) inner axis, for the
+// vector-opcode vs scalar-opcode VM comparison.
+BuiltKernel BuildElementwise(bool vectorize) {
+  const int n = 1 << 16;
+  Tensor A = placeholder({make_int(n)}, DataType::Float32(), "A");
+  Tensor B = placeholder({make_int(n)}, DataType::Float32(), "B");
+  Tensor C = compute({make_int(n)},
+                     [&](const std::vector<Var>& i) {
+                       Expr a = A({i[0]});
+                       Expr b = B({i[0]});
+                       return a * b + max(a, b) * make_float(0.5);
+                     },
+                     "C");
+  Schedule s = create_schedule({C});
+  Stage st = (*s)[C];
+  IterVar o, i;
+  st->split(st->leaf_iter_vars[0], 16, &o, &i);
+  if (vectorize) {
+    st->vectorize(i);
+  }
+  BuiltKernel k;
+  k.func = Lower(s, {A, B, C}, vectorize ? "elementwise_vec" : "elementwise_scalar");
+  k.bufs = {RandomBuf(n, DataType::Float32(), 20), RandomBuf(n, DataType::Float32(), 21),
+            RandomBuf(n, DataType::Float32(), 22)};
   return k;
 }
 
@@ -146,15 +177,45 @@ void BenchParallelScaling(int repeats) {
   bench::PrintBenchJson("vm_parallel_conv2d_relu", fields);
 }
 
+// Vector opcodes vs scalar iteration on the same workload: both configs run on the
+// VM; only the vectorize knob differs.
+void BenchVectorize(const std::string& name, BuiltKernel scalar, BuiltKernel vec,
+                    int repeats) {
+  std::shared_ptr<const vm::Program> sprog = vm::CompileToProgram(scalar.func);
+  std::shared_ptr<const vm::Program> vprog = vm::CompileToProgram(vec.func);
+  if (sprog == nullptr || vprog == nullptr || !vm::ProgramHasVector(*vprog)) {
+    std::printf("%s: vectorized VM program unavailable, skipping\n", name.c_str());
+    return;
+  }
+  std::vector<BufferBinding> sbind = scalar.Bindings();
+  std::vector<BufferBinding> vbind = vec.Bindings();
+  vm::ExecOptions serial;
+  serial.num_threads = 1;
+  double scalar_ms = bench::MeasureMs([&] { vm::Run(*sprog, sbind, serial); }, repeats);
+  double vec_ms = bench::MeasureMs([&] { vm::Run(*vprog, vbind, serial); }, repeats);
+  bench::PrintBenchJson("vm_vectorize_" + name,
+                        {{"scalar_vm_ms", scalar_ms},
+                         {"vector_vm_ms", vec_ms},
+                         {"vec_speedup", scalar_ms / vec_ms}});
+}
+
 }  // namespace
 }  // namespace tvmcpp
 
 int main() {
   using namespace tvmcpp;
+  const char* sink = std::getenv("TVMCPP_BENCH_JSON");
+  bench::OpenBenchJsonSink(sink != nullptr ? sink
+                                           : TVMCPP_SOURCE_DIR "/BENCH_vm.json");
   std::printf("bytecode VM vs tree-walking interpreter (wall clock)\n\n");
   const int repeats = 5;
   BenchKernel("conv2d_relu", BuildConvRelu(/*parallel=*/false), repeats);
   BenchKernel("dense", BuildDense(), repeats);
   BenchParallelScaling(repeats);
+  std::printf("\nSIMD vector opcodes vs scalar VM iteration\n\n");
+  BenchVectorize("elementwise", BuildElementwise(false), BuildElementwise(true),
+                 repeats);
+  BenchVectorize("dense", BuildDense(/*vectorize=*/0), BuildDense(/*vectorize=*/1),
+                 repeats);
   return 0;
 }

@@ -46,16 +46,43 @@ double MeasureMs(F&& fn, int repeats = 3, int warmup = 1) {
   return timer.Ms() / repeats;
 }
 
+// Optional file sink for bench JSON lines: when set (e.g. BENCH_vm.json at the repo
+// root), every PrintBenchJson line is mirrored there so the perf trajectory is
+// tracked across PRs without scraping stdout.
+inline std::FILE*& BenchJsonSinkSlot() {
+  static std::FILE* sink = nullptr;
+  return sink;
+}
+
+// Truncates and opens `path` as the JSON sink (one fresh snapshot per bench run).
+inline void OpenBenchJsonSink(const std::string& path) {
+  std::FILE*& sink = BenchJsonSinkSlot();
+  if (sink != nullptr) {
+    std::fclose(sink);
+  }
+  sink = std::fopen(path.c_str(), "w");
+  if (sink == nullptr) {
+    std::printf("warning: cannot open bench JSON sink %s\n", path.c_str());
+  }
+}
+
 // Prints one machine-readable result line, e.g.
 //   {"bench": "vm_speedup_conv2d", "interp_ms": 41.2, "vm_ms": 5.1, "speedup": 8.1}
-// so perf trajectories (BENCH_*.json) can be accumulated by scraping stdout.
+// to stdout and, when a sink is open, to the BENCH_*.json trajectory file.
 inline void PrintBenchJson(const std::string& bench,
                            const std::vector<std::pair<std::string, double>>& fields) {
-  std::printf("{\"bench\": \"%s\"", bench.c_str());
-  for (const auto& kv : fields) {
-    std::printf(", \"%s\": %.6g", kv.first.c_str(), kv.second);
+  auto emit = [&](std::FILE* out) {
+    std::fprintf(out, "{\"bench\": \"%s\"", bench.c_str());
+    for (const auto& kv : fields) {
+      std::fprintf(out, ", \"%s\": %.6g", kv.first.c_str(), kv.second);
+    }
+    std::fprintf(out, "}\n");
+  };
+  emit(stdout);
+  if (std::FILE* sink = BenchJsonSinkSlot()) {
+    emit(sink);
+    std::fflush(sink);
   }
-  std::printf("}\n");
 }
 
 // Tunes a workload with the ML-based optimizer; returns (best seconds, best config).

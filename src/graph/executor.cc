@@ -172,6 +172,11 @@ void GraphExecutor::Run() {
     if (k.program != nullptr && GetExecEngine() == ExecEngine::kVm) {
       vm::Run(*k.program, bindings);
     } else {
+      if (GetExecEngine() == ExecEngine::kVm) {
+        // VM engine selected but the kernel failed to compile: record the silent
+        // downgrade (fatal under TVMCPP_VM_STRICT=1), same as RunLowered.
+        vm::NoteFallback(k.func.name);
+      }
       RunLoweredInterp(k.func, bindings);
     }
   }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/ir/functor.h"
+#include "src/ir/intrin_table.h"
 #include "src/ir/printer.h"
 #include "src/ir/simplify.h"
 #include "src/support/float16.h"
@@ -79,6 +80,20 @@ class Interp {
       }
       case StmtKind::kStore: {
         const auto* n = static_cast<const StoreNode*>(s.get());
+        int lanes = std::max(n->value->dtype.lanes(), n->index->dtype.lanes());
+        if (lanes > 1) {
+          // Vector store: per lane, predicate -> index -> value, exactly the scalar
+          // evaluation (and trap) order applied lane by lane.
+          BufferState& buf = GetBuffer(n->buffer_var.get());
+          for (int lane = 0; lane < lanes; ++lane) {
+            if (n->predicate != nullptr && !Eval(n->predicate, lane).AsBool()) {
+              continue;
+            }
+            int64_t idx = Eval(n->index, lane).AsI();
+            WriteElem(buf, idx, Eval(n->value, lane));
+          }
+          break;
+        }
         if (n->predicate != nullptr && !Eval(n->predicate).AsBool()) {
           break;
         }
@@ -89,12 +104,12 @@ class Interp {
       }
       case StmtKind::kAllocate: {
         const auto* n = static_cast<const AllocateNode*>(s.get());
-        int64_t size = 1;
+        int64_t size = n->dtype.lanes();  // lanes > 1: widened scalar storage
         for (const Expr& e : n->extents) {
           size *= Eval(e).AsI();
         }
         BufferState state;
-        state.dtype = n->dtype;
+        state.dtype = n->dtype.element_of();
         state.num_elements = size;
         state.owned.assign(static_cast<size_t>(size * InterpElementBytes(n->dtype)), 0);
         state.data = state.owned.data();
@@ -135,7 +150,11 @@ class Interp {
     }
   }
 
-  Value Eval(const Expr& e) {
+  // Evaluates `e`; for vector expressions `lane` selects the lane (Ramp expands to
+  // base + lane*stride, Broadcast ignores the lane, vector loads index per lane).
+  // Scalar subexpressions are lane-invariant, so threading `lane` through every
+  // recursion gives exact lane-wise reference semantics.
+  Value Eval(const Expr& e, int lane = 0) {
     switch (e->kind) {
       case ExprKind::kIntImm:
         return Value::Int(static_cast<const IntImmNode*>(e.get())->value);
@@ -149,9 +168,16 @@ class Interp {
                                 << static_cast<const VarNode*>(e.get())->name;
         return it->second;
       }
+      case ExprKind::kRamp: {
+        const auto* n = static_cast<const RampNode*>(e.get());
+        return Value::Int(Eval(n->base, lane).AsI() +
+                          static_cast<int64_t>(lane) * Eval(n->stride, lane).AsI());
+      }
+      case ExprKind::kBroadcast:
+        return Eval(static_cast<const BroadcastNode*>(e.get())->value, lane);
       case ExprKind::kCast: {
         const auto* n = static_cast<const CastNode*>(e.get());
-        Value v = Eval(n->value);
+        Value v = Eval(n->value, lane);
         if (n->dtype.is_float()) {
           double d = v.AsF();
           if (n->dtype.bits() == 16) {
@@ -173,30 +199,32 @@ class Interp {
         return Value::Int(i);
       }
       case ExprKind::kNot:
-        return Value::Int(Eval(static_cast<const NotNode*>(e.get())->a).AsBool() ? 0 : 1);
+        return Value::Int(
+            Eval(static_cast<const NotNode*>(e.get())->a, lane).AsBool() ? 0 : 1);
       case ExprKind::kSelect: {
         const auto* n = static_cast<const SelectNode*>(e.get());
-        return Eval(n->condition).AsBool() ? Eval(n->true_value) : Eval(n->false_value);
+        return Eval(n->condition, lane).AsBool() ? Eval(n->true_value, lane)
+                                                 : Eval(n->false_value, lane);
       }
       case ExprKind::kLoad: {
         const auto* n = static_cast<const LoadNode*>(e.get());
-        if (n->predicate != nullptr && !Eval(n->predicate).AsBool()) {
+        if (n->predicate != nullptr && !Eval(n->predicate, lane).AsBool()) {
           return n->dtype.is_float() ? Value::Float(0) : Value::Int(0);
         }
         BufferState& buf = GetBuffer(n->buffer_var.get());
-        return ReadElem(buf, Eval(n->index).AsI());
+        return ReadElem(buf, Eval(n->index, lane).AsI());
       }
       case ExprKind::kLet: {
         const auto* n = static_cast<const LetNode*>(e.get());
-        env_[n->var.get()] = Eval(n->value);
-        return Eval(n->body);
+        env_[n->var.get()] = Eval(n->value, lane);
+        return Eval(n->body, lane);
       }
       case ExprKind::kCall:
-        return EvalCall(static_cast<const CallNode*>(e.get()));
+        return EvalCall(static_cast<const CallNode*>(e.get()), lane);
       default: {
         const auto* b = dynamic_cast<const BinaryNode*>(e.get());
         CHECK(b != nullptr) << "interpreter cannot evaluate " << ToString(e);
-        return EvalBinary(e->kind, Eval(b->a), Eval(b->b), e->dtype);
+        return EvalBinary(e->kind, Eval(b->a, lane), Eval(b->b, lane), e->dtype);
       }
     }
   }
@@ -283,28 +311,19 @@ class Interp {
     }
   }
 
-  Value EvalCall(const CallNode* n) {
+  Value EvalCall(const CallNode* n, int lane = 0) {
     const std::string& name = n->name;
     if (name == "if_then_else") {
-      return Eval(n->args[0]).AsBool() ? Eval(n->args[1]) : Eval(n->args[2]);
+      return Eval(n->args[0], lane).AsBool() ? Eval(n->args[1], lane)
+                                             : Eval(n->args[2], lane);
     }
-    if (name == "exp") {
-      return Value::Float(std::exp(Eval(n->args[0]).AsF()));
-    }
-    if (name == "log") {
-      return Value::Float(std::log(Eval(n->args[0]).AsF()));
-    }
-    if (name == "sqrt") {
-      return Value::Float(std::sqrt(Eval(n->args[0]).AsF()));
-    }
-    if (name == "tanh") {
-      return Value::Float(std::tanh(Eval(n->args[0]).AsF()));
-    }
-    if (name == "sigmoid") {
-      return Value::Float(1.0 / (1.0 + std::exp(-Eval(n->args[0]).AsF())));
+    UnaryMathFn fn;
+    if (LookupUnaryMathFn(name, &fn)) {
+      return Value::Float(EvalUnaryMathFn(fn, Eval(n->args[0], lane).AsF()));
     }
     if (name == "popcount") {
-      return Value::Int(__builtin_popcountll(static_cast<uint64_t>(Eval(n->args[0]).AsI())));
+      return Value::Int(
+          __builtin_popcountll(static_cast<uint64_t>(Eval(n->args[0], lane).AsI())));
     }
     if (name == kSyncIntrin || name == kPushDepIntrin || name == kPopDepIntrin) {
       return Value::Int(0);  // synchronization: no-op under serial execution
@@ -315,33 +334,20 @@ class Interp {
     LOG(FATAL) << "interpreter: unknown call " << name;
   }
 
-  // Generic tensor-intrinsic execution. The lowering ABI is, for each buffer
-  // (output first, then inputs): (handle, base_offset, stride per tensorized dim...),
-  // followed by the tensorized extents. Categories by buffer count:
-  //   fill (1 buffer):  out[...] = 0
-  //   copy (2 buffers): out[...] = in[...]
-  //   mac  (3 buffers): out[...] += in0[...] * in1[...]
+  // Generic tensor-intrinsic execution over the shared name -> category table
+  // (src/ir/intrin_table.h; the bytecode VM compiles from the same table).
   bool ExecTensorIntrin(const CallNode* n) {
-    int num_buffers;
-    enum class Category { kFill, kCopy, kMac } cat;
-    const std::string& name = n->name;
-    if (name == kFillZeroIntrin || name == "fill_zero") {
-      num_buffers = 1;
-      cat = Category::kFill;
-    } else if (name == kDmaCopyIntrin || name == "dma_copy") {
-      num_buffers = 2;
-      cat = Category::kCopy;
-    } else if (name == kGemmIntrin || name == "gemm_update" || name == "bitserial_gemv" ||
-               name == "arm_bitserial_gemv" || name == "fused_gemm_add") {
-      num_buffers = 3;
-      cat = Category::kMac;
-    } else {
+    const TensorIntrinInfo* info = LookupTensorIntrin(n->name);
+    if (info == nullptr) {
       return false;
     }
-    // #args = B*(2+NT) + NT  =>  NT = (#args - 2B) / (B+1)
+    using Category = TensorIntrinCategory;
+    Category cat = info->category;
+    int num_buffers = info->num_buffers;
     int total = static_cast<int>(n->args.size());
-    int nt = (total - 2 * num_buffers) / (num_buffers + 1);
-    CHECK_EQ(num_buffers * (2 + nt) + nt, total) << "bad intrinsic arity for " << name;
+    int nt;
+    CHECK(DecodeTensorIntrinArity(num_buffers, total, &nt))
+        << "bad intrinsic arity for " << n->name;
 
     struct Access {
       BufferState* buf;
@@ -455,8 +461,13 @@ void SetExecEngine(ExecEngine engine) { EngineSlot() = engine; }
 ExecEngine GetExecEngine() { return EngineSlot(); }
 
 void RunLowered(const LoweredFunc& func, const std::vector<BufferBinding>& args) {
-  if (GetExecEngine() == ExecEngine::kVm && vm::RunLoweredVM(func, args)) {
-    return;
+  if (GetExecEngine() == ExecEngine::kVm) {
+    if (vm::RunLoweredVM(func, args)) {
+      return;
+    }
+    // Silent engine downgrades are invisible to callers; count them, and fail hard
+    // under TVMCPP_VM_STRICT=1 so coverage regressions surface in tests.
+    vm::NoteFallback(func.name);
   }
   RunLoweredInterp(func, args);
 }

@@ -291,8 +291,12 @@ class Simplifier : public StmtMutator {
   }
 
  private:
+  // Scalar-int guard for the linear-decomposition rewrites: they rebuild with scalar
+  // int constants, which cannot mix with vector (lanes > 1) terms.
   static bool BothInt(const Expr& a, const Expr& b) {
-    return (a->dtype.is_int() || a->dtype.is_uint()) && (b->dtype.is_int() || b->dtype.is_uint());
+    return (a->dtype.is_int() || a->dtype.is_uint()) &&
+           (b->dtype.is_int() || b->dtype.is_uint()) && a->dtype.lanes() == 1 &&
+           b->dtype.lanes() == 1;
   }
 
   // A linear decomposition: sum of coeff*term plus a constant. Terms are non-additive

@@ -67,6 +67,14 @@ Stmt SerializeThreadBlocks(const Stmt& s);
 // single statement stream (Figure 8). Must run after Lower().
 Stmt InjectVirtualThreads(const Stmt& s);
 
+// Materializes ForType::kVectorized loops as vector IR: Ramp indices, Broadcast
+// scalars, lane-typed Load/Store, predicated lanes for lane-dependent guards, and a
+// scalar tail when wide loops are strip-mined. Loops the pass cannot prove
+// vectorizable are left untouched (engines keep running them serially). Applied by
+// the execution engines (src/vm compile, vector-aware interpretation); the machine
+// models (src/sim) analyze the pre-vectorization loop nest.
+Stmt VectorizeLoop(const Stmt& s);
+
 }  // namespace tvmcpp
 
 #endif  // SRC_LOWER_LOWER_H_

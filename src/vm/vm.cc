@@ -13,7 +13,10 @@
 #include <utility>
 #include <vector>
 
+#include <atomic>
+
 #include "src/ir/functor.h"
+#include "src/ir/intrin_table.h"
 #include "src/ir/printer.h"
 #include "src/ir/simplify.h"
 #include "src/runtime/threadpool.h"
@@ -64,18 +67,45 @@ enum class Op : uint8_t {
   kTensorIntrin, // run tensor-intrinsic descriptor idx
   kParFor,       // chunk parallel loop descriptor idx across the thread pool
   kAssert,       // CHECK(r[a].i != 0), message idx
+  // --- SIMD vector opcodes over the vector register file -------------------------
+  // Vector operands (dst/a/b unless noted) index the separate vector file; `lanes`
+  // gives the lane-group width. Lane loops are plain element-wise strides so the
+  // compiler auto-vectorizes them to host SIMD.
+  kVRamp,        // v[dst+l].i = r[a].i + l * r[b].i       (a, b scalar regs)
+  kVBroadcast,   // v[dst+l] = r[a]                        (a scalar reg; copies cell)
+  kVMov,         // v[dst+l] = v[a+l]
+  kVIntToFloat, kVFloatToInt, kVBoolF, kVNot, kVQuantF16,  // lane-wise conversions
+  kVWrapInt,     // lane-wise kWrapInt (bits, signedness flag)
+  kVAddI, kVAddF, kVSubI, kVSubF, kVMulI, kVMulF,
+  kVDivF, kVFloorDivI, kVFloorModI,
+  kVMinI, kVMinF, kVMaxI, kVMaxF,
+  kVEqI, kVEqF, kVNeI, kVNeF, kVLtI, kVLtF, kVLeI, kVLeF, kVGtI, kVGtF, kVGeI, kVGeF,
+  kVAnd, kVOr,
+  kVSelect,      // v[dst+l] = v[idx+l].i != 0 ? v[a+l] : v[b+l]
+  kVCallUnary,   // v[dst+l].f = mathfn[flag](v[a+l].f)
+  kVPopcount,    // v[dst+l].i = popcount(v[a+l].i)
+  kVLoadF32, kVLoadI8, kVLoadI32, kVLoadI64,
+                 // gather: v[dst+l] = buf[idx][v[a+l].i]; flag bit0: predicate in
+                 // v[b+..] masks lanes (masked lanes read typed zero, no bounds check)
+  kVStoreF32, kVStoreF16, kVStoreI8, kVStoreI32, kVStoreI64,
+                 // scatter: buf[idx][v[b+l].i] = v[a+l]; flag bit0: predicate in
+                 // v[dst+..] masks lanes (masked lanes are skipped entirely)
 };
 
-enum UnaryFn : uint8_t { kExp, kLog, kSqrt, kTanh, kSigmoid };
+// Unary math intrinsics use the shared name -> UnaryMathFn table
+// (src/ir/intrin_table.h); kCallUnary/kVCallUnary carry the tag in `flag` and
+// evaluate through the same EvalUnaryMathFn as the interpreter.
 
 struct Instr {
   Op op;
-  uint8_t flag = 0;   // ElemKind for kAlloc, UnaryFn for kCallUnary, signedness for kWrapInt
-  int16_t bits = 0;   // kWrapInt: target bit width
+  uint8_t flag = 0;   // ElemKind for kAlloc, UnaryFn for kCallUnary, signedness for
+                      // kWrapInt, predicate-present bit for kVLoad*/kVStore*
+  int16_t bits = 0;   // kWrapInt/kVWrapInt: target bit width
   int32_t dst = 0;
   int32_t a = 0;
   int32_t b = 0;
-  int32_t idx = 0;    // buffer slot, jump target, or descriptor index
+  int32_t idx = 0;    // buffer slot, jump target, descriptor index, or kVSelect cond
+  int32_t lanes = 0;  // lane-group width of vector opcodes (0 for scalar opcodes)
 };
 
 // Tensorized hardware intrinsic (fill/copy/mac category, see interp's ExecTensorIntrin).
@@ -102,6 +132,8 @@ struct Program {
   std::string name;
   std::vector<Instr> code;
   std::vector<VMValue> reg_init;  // initial register image (constants pre-folded)
+  int32_t num_vregs = 0;          // size of the vector register file (lane cells)
+  bool has_vector = false;        // program contains SIMD vector opcodes
   int32_t num_args = 0;
   int32_t num_buffer_slots = 0;
   std::vector<uint8_t> arg_kind;  // ElemKind per argument slot
@@ -251,6 +283,51 @@ class Compiler {
     }
     int32_t dst = AllocReg();
     Emit({Op::kBoolF, 0, 0, dst, r, 0, 0});
+    return dst;
+  }
+
+  // --- vector registers -------------------------------------------------------
+  // The vector file is a separate watermark-allocated array of lane cells; a vector
+  // register of width L occupies L consecutive cells. Vector registers never hold
+  // constants, so Finalize()'s negative-id rewriting does not apply to them.
+  int32_t AllocVReg(int lanes) {
+    int32_t r = vtop_;
+    vtop_ += lanes;
+    if (vtop_ > vmax_top_) {
+      vmax_top_ = vtop_;
+    }
+    return r;
+  }
+
+  int32_t EmitV(Instr in) {
+    prog_.has_vector = true;
+    return Emit(in);
+  }
+
+  int32_t EnsureVFloat(int32_t v, bool is_float, int lanes) {
+    if (is_float) {
+      return v;
+    }
+    int32_t dst = AllocVReg(lanes);
+    EmitV({Op::kVIntToFloat, 0, 0, dst, v, 0, 0, lanes});
+    return dst;
+  }
+
+  int32_t EnsureVInt(int32_t v, bool is_float, int lanes) {
+    if (!is_float) {
+      return v;
+    }
+    int32_t dst = AllocVReg(lanes);
+    EmitV({Op::kVFloatToInt, 0, 0, dst, v, 0, 0, lanes});
+    return dst;
+  }
+
+  int32_t EnsureVBool(int32_t v, bool is_float, int lanes) {
+    if (!is_float) {
+      return v;
+    }
+    int32_t dst = AllocVReg(lanes);
+    EmitV({Op::kVBoolF, 0, 0, dst, v, 0, 0, lanes});
     return dst;
   }
 
@@ -523,6 +600,10 @@ class Compiler {
         return e->dtype.is_float();
       case ExprKind::kNot:
         return false;
+      case ExprKind::kRamp:
+        return false;
+      case ExprKind::kBroadcast:
+        return StaticTypeOf(static_cast<const BroadcastNode*>(e.get())->value);
       case ExprKind::kSelect: {
         const auto* n = static_cast<const SelectNode*>(e.get());
         return StaticTypeOf(n->true_value) || StaticTypeOf(n->false_value);
@@ -540,8 +621,7 @@ class Compiler {
         if (n->name == "if_then_else") {
           return StaticTypeOf(n->args[1]) || StaticTypeOf(n->args[2]);
         }
-        return n->name == "exp" || n->name == "log" || n->name == "sqrt" ||
-               n->name == "tanh" || n->name == "sigmoid";
+        return IsUnaryMathIntrin(n->name);
       }
       case ExprKind::kAdd:
       case ExprKind::kSub:
@@ -605,14 +685,8 @@ class Compiler {
     if (name == "if_then_else") {
       return CompileConditional(n->args[0], n->args[1], n->args[2], is_float);
     }
-    if (name == "exp" || name == "log" || name == "sqrt" || name == "tanh" ||
-        name == "sigmoid") {
-      UnaryFn fn = name == "exp" ? kExp
-                                 : name == "log" ? kLog
-                                                 : name == "sqrt" ? kSqrt
-                                                                  : name == "tanh"
-                                                                        ? kTanh
-                                                                        : kSigmoid;
+    UnaryMathFn fn;
+    if (LookupUnaryMathFn(name, &fn)) {
       int32_t mark = top_;
       bool fa = false;
       int32_t ra = CompileExpr(n->args[0], &fa);
@@ -647,29 +721,305 @@ class Compiler {
     return 0;
   }
 
+  // --- vector expressions -----------------------------------------------------
+  // Compiles `e` to a vector register of width `lanes` (lane-invariant scalar
+  // subexpressions compile once and broadcast). Mirrors the interpreter's lane-wise
+  // evaluation: per-lane values are produced by exactly the scalar value model.
+  int32_t CompileVecExpr(const Expr& e, int lanes, bool* is_float) {
+    if (!ok_) {
+      *is_float = false;
+      return 0;
+    }
+    if (e->dtype.lanes() == 1) {
+      int32_t mark = top_;
+      bool f = false;
+      int32_t r = CompileExpr(e, &f);
+      top_ = mark;
+      int32_t dst = AllocVReg(lanes);
+      EmitV({Op::kVBroadcast, 0, 0, dst, r, 0, 0, lanes});
+      *is_float = f;
+      return dst;
+    }
+    if (e->dtype.lanes() != lanes) {
+      Fail("vector width mismatch: " + ToString(e));
+      *is_float = false;
+      return 0;
+    }
+    switch (e->kind) {
+      case ExprKind::kIntImm: {
+        // Vector-typed immediate (e.g. a folded boolx8 constant): broadcast.
+        int32_t dst = AllocVReg(lanes);
+        EmitV({Op::kVBroadcast, 0, 0, dst,
+               ConstI(static_cast<const IntImmNode*>(e.get())->value), 0, 0, lanes});
+        *is_float = false;
+        return dst;
+      }
+      case ExprKind::kFloatImm: {
+        int32_t dst = AllocVReg(lanes);
+        EmitV({Op::kVBroadcast, 0, 0, dst,
+               ConstF(static_cast<const FloatImmNode*>(e.get())->value), 0, 0, lanes});
+        *is_float = true;
+        return dst;
+      }
+      case ExprKind::kRamp: {
+        const auto* n = static_cast<const RampNode*>(e.get());
+        int32_t smark = top_;
+        bool fb = false, fs = false;
+        int32_t rb = EnsureInt(CompileExpr(n->base, &fb), fb);
+        int32_t rs = EnsureInt(CompileExpr(n->stride, &fs), fs);
+        top_ = smark;
+        int32_t dst = AllocVReg(lanes);
+        EmitV({Op::kVRamp, 0, 0, dst, rb, rs, 0, lanes});
+        *is_float = false;
+        return dst;
+      }
+      case ExprKind::kBroadcast:
+        return CompileVecExpr(static_cast<const BroadcastNode*>(e.get())->value, lanes,
+                              is_float);
+      case ExprKind::kCast:
+        return CompileVecCast(static_cast<const CastNode*>(e.get()), lanes, is_float);
+      case ExprKind::kNot: {
+        const auto* n = static_cast<const NotNode*>(e.get());
+        int32_t vmark = vtop_;
+        int32_t smark = top_;
+        bool fa = false;
+        int32_t va = CompileVecExpr(n->a, lanes, &fa);
+        va = EnsureVBool(va, fa, lanes);
+        vtop_ = vmark;
+        top_ = smark;
+        int32_t dst = AllocVReg(lanes);
+        EmitV({Op::kVNot, 0, 0, dst, va, 0, 0, lanes});
+        *is_float = false;
+        return dst;
+      }
+      case ExprKind::kSelect: {
+        const auto* n = static_cast<const SelectNode*>(e.get());
+        return CompileVecSelect(n->condition, n->true_value, n->false_value, lanes,
+                                is_float);
+      }
+      case ExprKind::kLoad:
+        return CompileVecLoad(static_cast<const LoadNode*>(e.get()), lanes, is_float);
+      case ExprKind::kLet: {
+        const auto* n = static_cast<const LetNode*>(e.get());
+        if (n->value->dtype.lanes() != 1) {
+          Fail("vm: vector-valued let " + n->var->name);
+          *is_float = false;
+          return 0;
+        }
+        bool fv = false;
+        int32_t rv = CompileExpr(n->value, &fv);
+        BindVar bind(this, n->var.get(), VarBinding{rv, fv});
+        return CompileVecExpr(n->body, lanes, is_float);
+      }
+      case ExprKind::kCall:
+        return CompileVecCall(static_cast<const CallNode*>(e.get()), lanes, is_float);
+      default: {
+        const auto* b = dynamic_cast<const BinaryNode*>(e.get());
+        if (b == nullptr) {
+          Fail("vm cannot vector-evaluate " + ToString(e));
+          *is_float = false;
+          return 0;
+        }
+        return CompileVecBinary(e->kind, b, lanes, is_float);
+      }
+    }
+  }
+
+  int32_t CompileVecBinary(ExprKind kind, const BinaryNode* n, int lanes,
+                           bool* is_float) {
+    int32_t vmark = vtop_;
+    int32_t smark = top_;
+    bool fa = false, fb = false;
+    int32_t va = CompileVecExpr(n->a, lanes, &fa);
+    int32_t vb = CompileVecExpr(n->b, lanes, &fb);
+    bool fl = fa || fb;
+    Op op;
+    bool out_float = false;
+    switch (kind) {
+      case ExprKind::kAdd: op = fl ? Op::kVAddF : Op::kVAddI; out_float = fl; break;
+      case ExprKind::kSub: op = fl ? Op::kVSubF : Op::kVSubI; out_float = fl; break;
+      case ExprKind::kMul: op = fl ? Op::kVMulF : Op::kVMulI; out_float = fl; break;
+      case ExprKind::kDiv: op = fl ? Op::kVDivF : Op::kVFloorDivI; out_float = fl; break;
+      case ExprKind::kMod: op = Op::kVFloorModI; break;
+      case ExprKind::kMin: op = fl ? Op::kVMinF : Op::kVMinI; out_float = fl; break;
+      case ExprKind::kMax: op = fl ? Op::kVMaxF : Op::kVMaxI; out_float = fl; break;
+      case ExprKind::kEQ: op = fl ? Op::kVEqF : Op::kVEqI; break;
+      case ExprKind::kNE: op = fl ? Op::kVNeF : Op::kVNeI; break;
+      case ExprKind::kLT: op = fl ? Op::kVLtF : Op::kVLtI; break;
+      case ExprKind::kLE: op = fl ? Op::kVLeF : Op::kVLeI; break;
+      case ExprKind::kGT: op = fl ? Op::kVGtF : Op::kVGtI; break;
+      case ExprKind::kGE: op = fl ? Op::kVGeF : Op::kVGeI; break;
+      case ExprKind::kAnd: op = Op::kVAnd; break;
+      case ExprKind::kOr: op = Op::kVOr; break;
+      default:
+        Fail("bad vector binary kind");
+        *is_float = false;
+        return 0;
+    }
+    if (kind == ExprKind::kMod) {
+      va = EnsureVInt(va, fa, lanes);
+      vb = EnsureVInt(vb, fb, lanes);
+    } else if (kind == ExprKind::kAnd || kind == ExprKind::kOr) {
+      va = EnsureVBool(va, fa, lanes);
+      vb = EnsureVBool(vb, fb, lanes);
+    } else if (fl) {
+      va = EnsureVFloat(va, fa, lanes);
+      vb = EnsureVFloat(vb, fb, lanes);
+    }
+    vtop_ = vmark;
+    top_ = smark;
+    int32_t dst = AllocVReg(lanes);
+    EmitV({op, 0, 0, dst, va, vb, 0, lanes});
+    *is_float = out_float;
+    return dst;
+  }
+
+  int32_t CompileVecCast(const CastNode* n, int lanes, bool* is_float) {
+    int32_t vmark = vtop_;
+    int32_t smark = top_;
+    bool fv = false;
+    int32_t vv = CompileVecExpr(n->value, lanes, &fv);
+    if (n->dtype.is_float()) {
+      vv = EnsureVFloat(vv, fv, lanes);
+      vtop_ = vmark;
+      top_ = smark;
+      int32_t dst = AllocVReg(lanes);
+      if (n->dtype.bits() == 16) {
+        EmitV({Op::kVQuantF16, 0, 0, dst, vv, 0, 0, lanes});
+      } else {
+        EmitV({Op::kVMov, 0, 0, dst, vv, 0, 0, lanes});
+      }
+      *is_float = true;
+      return dst;
+    }
+    vv = EnsureVInt(vv, fv, lanes);
+    vtop_ = vmark;
+    top_ = smark;
+    int32_t dst = AllocVReg(lanes);
+    if (n->dtype.bits() < 64 && !n->dtype.is_handle()) {
+      EmitV({Op::kVWrapInt, static_cast<uint8_t>(n->dtype.is_int() ? 1 : 0),
+             static_cast<int16_t>(n->dtype.bits()), dst, vv, 0, 0, lanes});
+    } else {
+      EmitV({Op::kVMov, 0, 0, dst, vv, 0, 0, lanes});
+    }
+    *is_float = false;
+    return dst;
+  }
+
+  // Vector conditional: both arms are computed and lanes blended. The VectorizeLoop
+  // pass has already pushed the condition into each arm's load predicates, so the
+  // not-taken arm cannot trap; blended-away lane values are discarded, keeping the
+  // result bitwise identical to the interpreter's lazy per-lane evaluation.
+  int32_t CompileVecSelect(const Expr& cond, const Expr& tval, const Expr& fval,
+                           int lanes, bool* is_float) {
+    int32_t vmark = vtop_;
+    int32_t smark = top_;
+    bool fc = false, ft = false, ff = false;
+    int32_t vc = CompileVecExpr(cond, lanes, &fc);
+    vc = EnsureVBool(vc, fc, lanes);
+    bool out_float = StaticTypeOf(tval) || StaticTypeOf(fval);
+    int32_t vt = CompileVecExpr(tval, lanes, &ft);
+    if (out_float) {
+      vt = EnsureVFloat(vt, ft, lanes);
+    }
+    int32_t vf = CompileVecExpr(fval, lanes, &ff);
+    if (out_float) {
+      vf = EnsureVFloat(vf, ff, lanes);
+    }
+    vtop_ = vmark;
+    top_ = smark;
+    int32_t dst = AllocVReg(lanes);
+    EmitV({Op::kVSelect, 0, 0, dst, vt, vf, vc, lanes});
+    *is_float = out_float;
+    return dst;
+  }
+
+  int32_t CompileVecLoad(const LoadNode* n, int lanes, bool* is_float) {
+    int32_t slot = BufferSlotOf(n->buffer_var.get());
+    if (!ok_) {
+      *is_float = false;
+      return 0;
+    }
+    ElemKind kind = buf_kind_[static_cast<size_t>(slot)];
+    bool buf_float = kind == kF32 || kind == kF16;
+    if (n->dtype.is_float() != buf_float) {
+      Fail("vm vector load type mismatch on " + n->buffer_var->name);
+      *is_float = false;
+      return 0;
+    }
+    int32_t vmark = vtop_;
+    int32_t smark = top_;
+    bool has_pred = n->predicate != nullptr;
+    int32_t vp = 0;
+    if (has_pred) {
+      bool fp = false;
+      vp = CompileVecExpr(n->predicate, lanes, &fp);
+      vp = EnsureVBool(vp, fp, lanes);
+    }
+    bool fi = false;
+    int32_t vi = CompileVecExpr(n->index, lanes, &fi);
+    vi = EnsureVInt(vi, fi, lanes);
+    vtop_ = vmark;
+    top_ = smark;
+    int32_t dst = AllocVReg(lanes);
+    Op op = buf_float ? Op::kVLoadF32
+                      : (kind == kI8 ? Op::kVLoadI8
+                                     : (kind == kI32 ? Op::kVLoadI32 : Op::kVLoadI64));
+    EmitV({op, static_cast<uint8_t>(has_pred ? 1 : 0), 0, dst, vi, vp, slot, lanes});
+    *is_float = buf_float;
+    return dst;
+  }
+
+  int32_t CompileVecCall(const CallNode* n, int lanes, bool* is_float) {
+    const std::string& name = n->name;
+    if (name == "if_then_else" && n->args.size() == 3) {
+      return CompileVecSelect(n->args[0], n->args[1], n->args[2], lanes, is_float);
+    }
+    UnaryMathFn fn;
+    if (LookupUnaryMathFn(name, &fn)) {
+      int32_t vmark = vtop_;
+      int32_t smark = top_;
+      bool fa = false;
+      int32_t va = CompileVecExpr(n->args[0], lanes, &fa);
+      va = EnsureVFloat(va, fa, lanes);
+      vtop_ = vmark;
+      top_ = smark;
+      int32_t dst = AllocVReg(lanes);
+      EmitV({Op::kVCallUnary, static_cast<uint8_t>(fn), 0, dst, va, 0, 0, lanes});
+      *is_float = true;
+      return dst;
+    }
+    if (name == "popcount") {
+      int32_t vmark = vtop_;
+      int32_t smark = top_;
+      bool fa = false;
+      int32_t va = CompileVecExpr(n->args[0], lanes, &fa);
+      va = EnsureVInt(va, fa, lanes);
+      vtop_ = vmark;
+      top_ = smark;
+      int32_t dst = AllocVReg(lanes);
+      EmitV({Op::kVPopcount, 0, 0, dst, va, 0, 0, lanes});
+      *is_float = false;
+      return dst;
+    }
+    Fail("vm: unknown vector call " + name);
+    *is_float = false;
+    return 0;
+  }
+
   // Mirrors the interpreter's generic tensor-intrinsic ABI (see interp.cc): for each
   // buffer (output first): (handle, base, stride per dim...), then the extents.
   bool CompileTensorIntrin(const CallNode* n) {
-    int num_buffers;
-    uint8_t cat;
-    const std::string& name = n->name;
-    if (name == kFillZeroIntrin || name == "fill_zero") {
-      num_buffers = 1;
-      cat = 0;
-    } else if (name == kDmaCopyIntrin || name == "dma_copy") {
-      num_buffers = 2;
-      cat = 1;
-    } else if (name == kGemmIntrin || name == "gemm_update" || name == "bitserial_gemv" ||
-               name == "arm_bitserial_gemv" || name == "fused_gemm_add") {
-      num_buffers = 3;
-      cat = 2;
-    } else {
+    const TensorIntrinInfo* info = LookupTensorIntrin(n->name);
+    if (info == nullptr) {
       return false;
     }
+    int num_buffers = info->num_buffers;
+    uint8_t cat = static_cast<uint8_t>(info->category);
     int total = static_cast<int>(n->args.size());
-    int nt = (total - 2 * num_buffers) / (num_buffers + 1);
-    if (num_buffers * (2 + nt) + nt != total) {
-      Fail("bad intrinsic arity for " + name);
+    int nt;
+    if (!DecodeTensorIntrinArity(num_buffers, total, &nt)) {
+      Fail("bad intrinsic arity for " + n->name);
       return true;
     }
     TensorIntrinDesc desc;
@@ -744,11 +1094,9 @@ class Compiler {
         break;
       case StmtKind::kAllocate: {
         const auto* n = static_cast<const AllocateNode*>(s.get());
-        if (n->dtype.lanes() != 1) {
-          Fail("vm cannot allocate vector buffer " + n->buffer_var->name);
-          return;
-        }
-        int32_t slot = NewBufferSlot(n->dtype);
+        // lanes > 1 allocates widened scalar storage (lanes * product of extents),
+        // exactly like the interpreter: element accesses stay flat scalar indices.
+        int32_t slot = NewBufferSlot(n->dtype.element_of());
         int32_t mark = top_;
         int32_t size = ConstI(1);
         bool first = true;
@@ -764,8 +1112,13 @@ class Compiler {
             size = prod;
           }
         }
-        Emit({Op::kAlloc, static_cast<uint8_t>(ElemKindOf(n->dtype)), 0, 0, size, 0,
-              slot});
+        if (n->dtype.lanes() > 1) {
+          int32_t widened = AllocReg();
+          Emit({Op::kMulI, 0, 0, widened, size, ConstI(n->dtype.lanes()), 0});
+          size = widened;
+        }
+        Emit({Op::kAlloc, static_cast<uint8_t>(ElemKindOf(n->dtype.element_of())), 0, 0,
+              size, 0, slot});
         top_ = mark;
         {
           BindBuf bind(this, n->buffer_var.get(), slot);
@@ -818,8 +1171,9 @@ class Compiler {
       return;
     }
     ElemKind kind = buf_kind_[static_cast<size_t>(slot)];
-    if (n->value->dtype.lanes() != 1) {
-      Fail("vm cannot store vector value into " + n->buffer_var->name);
+    int lanes = std::max(n->value->dtype.lanes(), n->index->dtype.lanes());
+    if (lanes > 1) {
+      CompileVecStore(n, slot, kind, lanes);
       return;
     }
     int32_t mark = top_;
@@ -849,6 +1203,37 @@ class Compiler {
       PatchTarget(jz, Here());
     }
     top_ = mark;
+  }
+
+  // Vector store: predicate -> index -> value vectors, then one scatter instruction
+  // that writes unmasked lanes (same per-lane writes as the interpreter's lane loop).
+  void CompileVecStore(const StoreNode* n, int32_t slot, ElemKind kind, int lanes) {
+    int32_t vmark = vtop_;
+    int32_t smark = top_;
+    bool has_pred = n->predicate != nullptr;
+    int32_t vp = 0;
+    if (has_pred) {
+      bool fp = false;
+      vp = CompileVecExpr(n->predicate, lanes, &fp);
+      vp = EnsureVBool(vp, fp, lanes);
+    }
+    bool fi = false;
+    int32_t vi = CompileVecExpr(n->index, lanes, &fi);
+    vi = EnsureVInt(vi, fi, lanes);
+    bool fv = false;
+    int32_t vv = CompileVecExpr(n->value, lanes, &fv);
+    Op op;
+    if (kind == kF32 || kind == kF16) {
+      vv = EnsureVFloat(vv, fv, lanes);
+      op = kind == kF16 ? Op::kVStoreF16 : Op::kVStoreF32;
+    } else {
+      vv = EnsureVInt(vv, fv, lanes);
+      op = kind == kI8 ? Op::kVStoreI8
+                       : (kind == kI32 ? Op::kVStoreI32 : Op::kVStoreI64);
+    }
+    EmitV({op, static_cast<uint8_t>(has_pred ? 1 : 0), 0, vp, vv, vi, slot, lanes});
+    vtop_ = vmark;
+    top_ = smark;
   }
 
   static bool UsesAnyVar(const Expr& e, const std::unordered_set<const VarNode*>& vars) {
@@ -1001,6 +1386,7 @@ class Compiler {
     for (size_t k = 0; k < const_vals_.size(); ++k) {
       prog_.reg_init[static_cast<size_t>(max_top_) + k] = const_vals_[k];
     }
+    prog_.num_vregs = vmax_top_;
   }
 
   Program prog_;
@@ -1012,6 +1398,8 @@ class Compiler {
   std::vector<VMValue> const_vals_;
   int32_t top_ = 0;
   int32_t max_top_ = 0;
+  int32_t vtop_ = 0;
+  int32_t vmax_top_ = 0;
   bool in_parallel_ = false;
   bool ok_ = true;
   std::string fail_reason_;
@@ -1029,6 +1417,7 @@ struct VMBuffer {
 
 struct ExecState {
   std::vector<VMValue> regs;
+  std::vector<VMValue> vregs;  // vector register file: lane cells
   std::vector<VMBuffer> bufs;
   std::vector<std::vector<char>> owned;  // per-slot storage for kAlloc buffers
 };
@@ -1231,6 +1620,7 @@ void ExecParFor(const Program& p, ExecState& st, const ParForDesc& d,
       // buffers allocated in the body stay private to the worker.
       ExecState local;
       local.regs = st.regs;
+      local.vregs = st.vregs;
       local.bufs = st.bufs;
       local.owned.resize(st.owned.size());
       for (int64_t v = begin; v < chunk_end; ++v) {
@@ -1258,6 +1648,7 @@ void RunRange(const Program& p, ExecState& st, int32_t pc, int32_t end,
               const ExecOptions& opt) {
   const Instr* code = p.code.data();
   VMValue* r = st.regs.data();
+  VMValue* v = st.vregs.data();
   while (pc < end) {
     const Instr& in = code[pc];
     switch (in.op) {
@@ -1394,20 +1785,10 @@ void RunRange(const Program& p, ExecState& st, int32_t pc, int32_t end,
         ++pc;
         break;
       }
-      case Op::kCallUnary: {
-        double x = r[in.a].f;
-        double y;
-        switch (in.flag) {
-          case kExp: y = std::exp(x); break;
-          case kLog: y = std::log(x); break;
-          case kSqrt: y = std::sqrt(x); break;
-          case kTanh: y = std::tanh(x); break;
-          default: y = 1.0 / (1.0 + std::exp(-x)); break;
-        }
-        r[in.dst].f = y;
+      case Op::kCallUnary:
+        r[in.dst].f = EvalUnaryMathFn(static_cast<UnaryMathFn>(in.flag), r[in.a].f);
         ++pc;
         break;
-      }
       case Op::kPopcount:
         r[in.dst].i = __builtin_popcountll(static_cast<uint64_t>(r[in.a].i));
         ++pc;
@@ -1428,6 +1809,168 @@ void RunRange(const Program& p, ExecState& st, int32_t pc, int32_t end,
         }
         ++pc;
         break;
+      // --- SIMD vector opcodes ------------------------------------------------
+      case Op::kVRamp: {
+        int64_t base = r[in.a].i, stride = r[in.b].i;
+        for (int32_t l = 0; l < in.lanes; ++l) {
+          v[in.dst + l].i = base + l * stride;
+        }
+        ++pc;
+        break;
+      }
+      case Op::kVBroadcast: {
+        VMValue x = r[in.a];
+        for (int32_t l = 0; l < in.lanes; ++l) {
+          v[in.dst + l] = x;
+        }
+        ++pc;
+        break;
+      }
+      case Op::kVMov:
+        for (int32_t l = 0; l < in.lanes; ++l) v[in.dst + l] = v[in.a + l];
+        ++pc;
+        break;
+      case Op::kVIntToFloat:
+        for (int32_t l = 0; l < in.lanes; ++l) {
+          v[in.dst + l].f = static_cast<double>(v[in.a + l].i);
+        }
+        ++pc;
+        break;
+      case Op::kVFloatToInt:
+        for (int32_t l = 0; l < in.lanes; ++l) {
+          v[in.dst + l].i = static_cast<int64_t>(v[in.a + l].f);
+        }
+        ++pc;
+        break;
+      case Op::kVBoolF:
+        for (int32_t l = 0; l < in.lanes; ++l) v[in.dst + l].i = v[in.a + l].f != 0;
+        ++pc;
+        break;
+      case Op::kVNot:
+        for (int32_t l = 0; l < in.lanes; ++l) {
+          v[in.dst + l].i = v[in.a + l].i != 0 ? 0 : 1;
+        }
+        ++pc;
+        break;
+      case Op::kVQuantF16:
+        for (int32_t l = 0; l < in.lanes; ++l) {
+          v[in.dst + l].f =
+              static_cast<double>(QuantizeFloat16(static_cast<float>(v[in.a + l].f)));
+        }
+        ++pc;
+        break;
+      case Op::kVWrapInt: {
+        int64_t mod = int64_t{1} << in.bits;
+        for (int32_t l = 0; l < in.lanes; ++l) {
+          int64_t i = v[in.a + l].i;
+          i = ((i % mod) + mod) % mod;
+          if (in.flag != 0 && i >= (mod >> 1)) {
+            i -= mod;
+          }
+          v[in.dst + l].i = i;
+        }
+        ++pc;
+        break;
+      }
+#define TVMCPP_VM_VBINOP(OPC, FIELD, EXPR)                              \
+  case Op::OPC:                                                         \
+    for (int32_t l = 0; l < in.lanes; ++l) {                            \
+      auto va = v[in.a + l].FIELD;                                      \
+      auto vb = v[in.b + l].FIELD;                                      \
+      (void)va; (void)vb;                                               \
+      EXPR;                                                             \
+    }                                                                   \
+    ++pc;                                                               \
+    break;
+      TVMCPP_VM_VBINOP(kVAddI, i, v[in.dst + l].i = va + vb)
+      TVMCPP_VM_VBINOP(kVAddF, f, v[in.dst + l].f = va + vb)
+      TVMCPP_VM_VBINOP(kVSubI, i, v[in.dst + l].i = va - vb)
+      TVMCPP_VM_VBINOP(kVSubF, f, v[in.dst + l].f = va - vb)
+      TVMCPP_VM_VBINOP(kVMulI, i, v[in.dst + l].i = va * vb)
+      TVMCPP_VM_VBINOP(kVMulF, f, v[in.dst + l].f = va * vb)
+      TVMCPP_VM_VBINOP(kVDivF, f, v[in.dst + l].f = va / vb)
+      TVMCPP_VM_VBINOP(kVFloorDivI, i, v[in.dst + l].i = FloorDiv(va, vb))
+      TVMCPP_VM_VBINOP(kVFloorModI, i, v[in.dst + l].i = FloorMod(va, vb))
+      TVMCPP_VM_VBINOP(kVMinI, i, v[in.dst + l].i = std::min(va, vb))
+      TVMCPP_VM_VBINOP(kVMinF, f, v[in.dst + l].f = std::min(va, vb))
+      TVMCPP_VM_VBINOP(kVMaxI, i, v[in.dst + l].i = std::max(va, vb))
+      TVMCPP_VM_VBINOP(kVMaxF, f, v[in.dst + l].f = std::max(va, vb))
+      TVMCPP_VM_VBINOP(kVEqI, i, v[in.dst + l].i = va == vb)
+      TVMCPP_VM_VBINOP(kVEqF, f, v[in.dst + l].i = va == vb)
+      TVMCPP_VM_VBINOP(kVNeI, i, v[in.dst + l].i = va != vb)
+      TVMCPP_VM_VBINOP(kVNeF, f, v[in.dst + l].i = va != vb)
+      TVMCPP_VM_VBINOP(kVLtI, i, v[in.dst + l].i = va < vb)
+      TVMCPP_VM_VBINOP(kVLtF, f, v[in.dst + l].i = va < vb)
+      TVMCPP_VM_VBINOP(kVLeI, i, v[in.dst + l].i = va <= vb)
+      TVMCPP_VM_VBINOP(kVLeF, f, v[in.dst + l].i = va <= vb)
+      TVMCPP_VM_VBINOP(kVGtI, i, v[in.dst + l].i = va > vb)
+      TVMCPP_VM_VBINOP(kVGtF, f, v[in.dst + l].i = va > vb)
+      TVMCPP_VM_VBINOP(kVGeI, i, v[in.dst + l].i = va >= vb)
+      TVMCPP_VM_VBINOP(kVGeF, f, v[in.dst + l].i = va >= vb)
+      TVMCPP_VM_VBINOP(kVAnd, i, v[in.dst + l].i = (va != 0) && (vb != 0))
+      TVMCPP_VM_VBINOP(kVOr, i, v[in.dst + l].i = (va != 0) || (vb != 0))
+#undef TVMCPP_VM_VBINOP
+      case Op::kVSelect:
+        for (int32_t l = 0; l < in.lanes; ++l) {
+          v[in.dst + l] = v[in.idx + l].i != 0 ? v[in.a + l] : v[in.b + l];
+        }
+        ++pc;
+        break;
+      case Op::kVCallUnary:
+        for (int32_t l = 0; l < in.lanes; ++l) {
+          v[in.dst + l].f =
+              EvalUnaryMathFn(static_cast<UnaryMathFn>(in.flag), v[in.a + l].f);
+        }
+        ++pc;
+        break;
+      case Op::kVPopcount:
+        for (int32_t l = 0; l < in.lanes; ++l) {
+          v[in.dst + l].i =
+              __builtin_popcountll(static_cast<uint64_t>(v[in.a + l].i));
+        }
+        ++pc;
+        break;
+#define TVMCPP_VM_VLOAD(OPC, CTYPE, FIELD, ZERO)                          \
+  case Op::OPC: {                                                         \
+    const VMBuffer& b = st.bufs[static_cast<size_t>(in.idx)];             \
+    for (int32_t l = 0; l < in.lanes; ++l) {                              \
+      if (in.flag != 0 && v[in.b + l].i == 0) {                           \
+        v[in.dst + l].FIELD = ZERO; /* masked lane reads typed zero */    \
+        continue;                                                         \
+      }                                                                   \
+      int64_t i = v[in.a + l].i;                                          \
+      CheckBounds(b, i);                                                  \
+      v[in.dst + l].FIELD = static_cast<const CTYPE*>(b.data)[i];         \
+    }                                                                     \
+    ++pc;                                                                 \
+    break;                                                                \
+  }
+      TVMCPP_VM_VLOAD(kVLoadF32, float, f, 0.0)
+      TVMCPP_VM_VLOAD(kVLoadI8, int8_t, i, 0)
+      TVMCPP_VM_VLOAD(kVLoadI32, int32_t, i, 0)
+      TVMCPP_VM_VLOAD(kVLoadI64, int64_t, i, 0)
+#undef TVMCPP_VM_VLOAD
+#define TVMCPP_VM_VSTORE(OPC, CTYPE, WRITE)                               \
+  case Op::OPC: {                                                         \
+    VMBuffer& b = st.bufs[static_cast<size_t>(in.idx)];                   \
+    for (int32_t l = 0; l < in.lanes; ++l) {                              \
+      if (in.flag != 0 && v[in.dst + l].i == 0) {                         \
+        continue; /* masked lane skipped */                               \
+      }                                                                   \
+      int64_t i = v[in.b + l].i;                                          \
+      CheckBounds(b, i);                                                  \
+      static_cast<CTYPE*>(b.data)[i] = WRITE;                             \
+    }                                                                     \
+    ++pc;                                                                 \
+    break;                                                                \
+  }
+      TVMCPP_VM_VSTORE(kVStoreF32, float, static_cast<float>(v[in.a + l].f))
+      TVMCPP_VM_VSTORE(kVStoreF16, float,
+                       QuantizeFloat16(static_cast<float>(v[in.a + l].f)))
+      TVMCPP_VM_VSTORE(kVStoreI8, int8_t, static_cast<int8_t>(v[in.a + l].i))
+      TVMCPP_VM_VSTORE(kVStoreI32, int32_t, static_cast<int32_t>(v[in.a + l].i))
+      TVMCPP_VM_VSTORE(kVStoreI64, int64_t, v[in.a + l].i)
+#undef TVMCPP_VM_VSTORE
     }
   }
 }
@@ -1448,6 +1991,9 @@ std::shared_ptr<const Program> CompileToProgram(const LoweredFunc& func) {
     // exactly as the reference interpreter does before execution.
     body = SerializeThreadBlocks(body);
   }
+  // Materialize kVectorized loops as vector IR so they compile to SIMD opcodes
+  // (loops the pass bails on stay serial, preserving the old semantics).
+  body = VectorizeLoop(body);
   body = Simplify(body);
   Compiler compiler;
   return compiler.Compile(func, body);
@@ -1459,6 +2005,7 @@ void Run(const Program& program, const std::vector<BufferBinding>& args,
       << "argument count mismatch for " << program.name;
   ExecState st;
   st.regs = program.reg_init;
+  st.vregs.assign(static_cast<size_t>(program.num_vregs), VMValue{});
   st.bufs.assign(static_cast<size_t>(program.num_buffer_slots), VMBuffer{});
   st.owned.resize(static_cast<size_t>(program.num_buffer_slots));
   for (size_t i = 0; i < args.size(); ++i) {
@@ -1523,6 +2070,43 @@ int ProgramNumRegisters(const Program& program) {
 }
 
 bool ProgramHasParallel(const Program& program) { return program.has_parallel; }
+
+bool ProgramHasVector(const Program& program) { return program.has_vector; }
+
+// --- fallback diagnostics ----------------------------------------------------------
+
+namespace {
+
+std::atomic<int64_t> g_fallback_count{0};
+
+std::atomic<bool>& StrictSlot() {
+  static std::atomic<bool> strict = [] {
+    const char* s = std::getenv("TVMCPP_VM_STRICT");
+    return s != nullptr && std::string(s) == "1";
+  }();
+  return strict;
+}
+
+}  // namespace
+
+int64_t FallbackCount() { return g_fallback_count.load(std::memory_order_relaxed); }
+
+void ResetFallbackCount() { g_fallback_count.store(0, std::memory_order_relaxed); }
+
+bool StrictMode() { return StrictSlot().load(std::memory_order_relaxed); }
+
+void SetStrictMode(bool strict) {
+  StrictSlot().store(strict, std::memory_order_relaxed);
+}
+
+void NoteFallback(const std::string& func_name) {
+  g_fallback_count.fetch_add(1, std::memory_order_relaxed);
+  if (StrictMode()) {
+    LOG(FATAL) << "TVMCPP_VM_STRICT: " << func_name
+               << " fell back to the interpreter (VM compile failed); see the "
+                  "preceding vm log line for the unsupported construct";
+  }
+}
 
 }  // namespace vm
 }  // namespace tvmcpp

@@ -15,7 +15,9 @@
 #ifndef SRC_VM_VM_H_
 #define SRC_VM_VM_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/interp/interp.h"
@@ -26,10 +28,23 @@ namespace vm {
 
 struct Program;  // defined in vm.cc; opaque to callers
 
-// Compiles `func` into bytecode. Returns nullptr when the body contains a construct the
-// VM does not support (vector Ramp/Broadcast, unknown intrinsics, ...); callers should
-// then fall back to RunLoweredInterp.
+// Compiles `func` into bytecode. kVectorized loops are materialized first via
+// VectorizeLoop and execute as SIMD vector opcodes over a vector register file.
+// Returns nullptr when the body contains a construct the VM does not support (unknown
+// intrinsics, ...); callers should then fall back to RunLoweredInterp.
 std::shared_ptr<const Program> CompileToProgram(const LoweredFunc& func);
+
+// --- fallback diagnostics ---------------------------------------------------------
+// Every silent engine downgrade (VM compile failure -> interpreter) is counted, and
+// TVMCPP_VM_STRICT=1 (or SetStrictMode(true)) turns the downgrade into a hard error so
+// coverage regressions fail loudly instead of quietly de-optimizing.
+int64_t FallbackCount();
+void ResetFallbackCount();
+bool StrictMode();
+void SetStrictMode(bool strict);
+// Records one VM->interpreter fallback for `func_name`; fatal under strict mode.
+// Called by the RunLowered dispatcher.
+void NoteFallback(const std::string& func_name);
 
 struct ExecOptions {
   // Worker count for kParallel loops. 0 = TVMCPP_NUM_THREADS env or
@@ -50,6 +65,9 @@ bool RunLoweredVM(const LoweredFunc& func, const std::vector<BufferBinding>& arg
 int ProgramNumInstructions(const Program& program);
 int ProgramNumRegisters(const Program& program);
 bool ProgramHasParallel(const Program& program);
+// True when the program contains SIMD vector opcodes (a vectorized schedule actually
+// compiled to the vector execution path instead of running scalar).
+bool ProgramHasVector(const Program& program);
 
 }  // namespace vm
 }  // namespace tvmcpp
