@@ -1,0 +1,168 @@
+// Serving throughput/latency benchmark: wall-clock req/s and p50/p99 latency of the
+// InferenceServer at queue depths 1/4/16 against the serialized baseline (back-to-back
+// CompiledGraph::Run on one RunContext — the pre-serving execution mode).
+//
+// Emits JSON lines via PrintBenchJson to stdout and BENCH_serve.json at the repo root
+// (TVMCPP_BENCH_JSON overrides the path). Request-level speedup needs multiple cores;
+// on a single-core host the depth-16 speedup degenerates toward 1x (reported as-is).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/graph/executor.h"
+#include "src/graph/graph.h"
+#include "src/runtime/ndarray.h"
+#include "src/runtime/target.h"
+#include "src/serve/serve.h"
+
+namespace tvmcpp {
+namespace {
+
+// Conv + relu chain sized so one request is a few milliseconds of kernel work:
+// large enough that scheduling overhead is amortized, small enough that the full
+// depth sweep stays quick.
+graph::Graph MakeModelGraph() {
+  graph::Graph g;
+  int data = g.AddInput("data", {1, 8, 16, 16});
+  int w1 = g.AddConst("w1", {16, 8, 3, 3});
+  int w2 = g.AddConst("w2", {16, 16, 3, 3});
+  int w3 = g.AddConst("w3", {16, 16, 1, 1});
+  int c1 = g.AddOp("conv2d", "conv1", {data, w1}, {{"stride", 1}, {"pad", 1}});
+  int r1 = g.AddOp("relu", "relu1", {c1});
+  int c2 = g.AddOp("conv2d", "conv2", {r1, w2}, {{"stride", 1}, {"pad", 1}});
+  int r2 = g.AddOp("relu", "relu2", {c2});
+  g.outputs = {g.AddOp("conv2d", "conv3", {r2, w3}, {{"stride", 1}, {"pad", 0}})};
+  return g;
+}
+
+std::shared_ptr<graph::CompiledGraph> MakeModel() {
+  auto model = std::make_shared<graph::CompiledGraph>(MakeModelGraph(),
+                                                      Target::ArmA53(),
+                                                      graph::CompileOptions{});
+  model->SetParam("w1", NDArray::Random({16, 8, 3, 3}, DataType::Float32(), 1));
+  model->SetParam("w2", NDArray::Random({16, 16, 3, 3}, DataType::Float32(), 2));
+  model->SetParam("w3", NDArray::Random({16, 16, 1, 1}, DataType::Float32(), 3));
+  return model;
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0;
+  }
+  std::sort(xs.begin(), xs.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(xs.size() - 1));
+  return xs[idx];
+}
+
+struct RunResult {
+  double req_per_s = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+// Serialized baseline: the pre-serving mode — one RunContext, back-to-back Run()
+// calls, default engine context (global worker pool for kParallel chunks).
+RunResult RunSerialBaseline(const std::shared_ptr<graph::CompiledGraph>& model,
+                            const std::vector<NDArray>& inputs) {
+  graph::RunContext ctx(model);
+  std::vector<double> lat_ms;
+  bench::WallTimer total;
+  for (const NDArray& input : inputs) {
+    bench::WallTimer t;
+    ctx.SetInput("data", input);
+    model->Run(&ctx);
+    lat_ms.push_back(t.Ms());
+  }
+  RunResult r;
+  r.req_per_s = static_cast<double>(inputs.size()) / (total.Ms() / 1e3);
+  r.p50_ms = Percentile(lat_ms, 0.50);
+  r.p99_ms = Percentile(lat_ms, 0.99);
+  return r;
+}
+
+// Closed-loop client with `depth` outstanding requests: keeps exactly `depth`
+// submissions in flight, so queue depth at the server tracks the target depth.
+// Per-request latency is the server-side queue wait + kernel time.
+RunResult RunServed(serve::InferenceServer* server,
+                    const std::shared_ptr<graph::CompiledGraph>& model,
+                    const std::vector<NDArray>& inputs, int depth) {
+  std::deque<std::future<serve::InferenceResponse>> inflight;
+  std::vector<double> lat_ms;
+  bench::WallTimer total;
+  size_t next = 0;
+  while (next < inputs.size() || !inflight.empty()) {
+    while (next < inputs.size() && static_cast<int>(inflight.size()) < depth) {
+      serve::InferenceRequest req;
+      req.inputs["data"] = inputs[next++];
+      inflight.push_back(server->Submit(model, std::move(req)));
+    }
+    serve::InferenceResponse resp = inflight.front().get();
+    inflight.pop_front();
+    lat_ms.push_back(resp.queue_ms + resp.run_ms);
+  }
+  RunResult r;
+  r.req_per_s = static_cast<double>(inputs.size()) / (total.Ms() / 1e3);
+  r.p50_ms = Percentile(lat_ms, 0.50);
+  r.p99_ms = Percentile(lat_ms, 0.99);
+  return r;
+}
+
+}  // namespace
+}  // namespace tvmcpp
+
+int main() {
+  using namespace tvmcpp;
+  const char* sink = std::getenv("TVMCPP_BENCH_JSON");
+  bench::OpenBenchJsonSink(sink != nullptr ? sink
+                                           : TVMCPP_SOURCE_DIR "/BENCH_serve.json");
+
+  std::shared_ptr<graph::CompiledGraph> model = MakeModel();
+  const int kRequests = 48;
+  std::vector<NDArray> inputs;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(NDArray::Random({1, 8, 16, 16}, DataType::Float32(),
+                                     static_cast<uint64_t>(100 + i)));
+  }
+
+  // Warm up compiled programs and page in buffers.
+  {
+    graph::RunContext warm(model);
+    warm.SetInput("data", inputs[0]);
+    model->Run(&warm);
+  }
+
+  RunResult base = RunSerialBaseline(model, inputs);
+  bench::PrintBenchJson("serve_serialized_baseline",
+                        {{"requests", kRequests},
+                         {"req_per_s", base.req_per_s},
+                         {"p50_ms", base.p50_ms},
+                         {"p99_ms", base.p99_ms}});
+
+  serve::InferenceServer server{serve::ServerOptions{}};
+  for (int depth : {1, 4, 16}) {
+    RunResult r = RunServed(&server, model, inputs, depth);
+    bench::PrintBenchJson(
+        "serve_depth_" + std::to_string(depth),
+        {{"requests", kRequests},
+         {"workers", server.num_workers()},
+         {"depth", depth},
+         {"req_per_s", r.req_per_s},
+         {"p50_ms", r.p50_ms},
+         {"p99_ms", r.p99_ms},
+         {"baseline_req_per_s", base.req_per_s},
+         {"speedup_vs_serialized", r.req_per_s / base.req_per_s}});
+  }
+  serve::ServerStats stats = server.stats();
+  bench::PrintBenchJson("serve_policy",
+                        {{"accepted", static_cast<double>(stats.accepted)},
+                         {"chunked_runs", static_cast<double>(stats.chunked_runs)},
+                         {"serial_runs", static_cast<double>(stats.serial_runs)}});
+  return 0;
+}

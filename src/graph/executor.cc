@@ -11,7 +11,7 @@
 namespace tvmcpp {
 namespace graph {
 
-GraphExecutor::GraphExecutor(Graph g, Target target, CompileOptions options)
+CompiledGraph::CompiledGraph(Graph g, Target target, CompileOptions options)
     : graph_(std::move(g)), target_(std::move(target)), options_(options) {
   for (const Node& n : graph_.nodes()) {
     name_to_node_[n.name] = n.id;
@@ -19,7 +19,13 @@ GraphExecutor::GraphExecutor(Graph g, Target target, CompileOptions options)
   Compile();
 }
 
-topi::OpWorkload GraphExecutor::WorkloadOf(const Node& master) const {
+int CompiledGraph::NodeIdOf(const std::string& name) const {
+  auto it = name_to_node_.find(name);
+  CHECK(it != name_to_node_.end()) << "no node named " << name;
+  return it->second;
+}
+
+topi::OpWorkload CompiledGraph::WorkloadOf(const Node& master) const {
   topi::OpWorkload wl;
   wl.kind = master.op;
   const Node& data = graph_.node(master.inputs[0]);
@@ -41,31 +47,12 @@ topi::OpWorkload GraphExecutor::WorkloadOf(const Node& master) const {
   return wl;
 }
 
-void GraphExecutor::Compile() {
+void CompiledGraph::Compile() {
   if (options_.enable_layout) {
     AlterLayout(&graph_, target_);
   }
   groups_ = FuseOps(graph_, options_.enable_fusion);
   plan_ = PlanMemory(graph_, groups_);
-
-  // Allocate buffers for every materialized node, sharing byte storage between nodes
-  // the memory plan assigned to the same storage token (their live ranges are disjoint,
-  // so intermediates reuse buffers instead of each getting a fresh allocation).
-  std::unordered_map<int, NDArray> token_storage;
-  for (const FusedGroup& grp : groups_) {
-    const Node& out = graph_.node(grp.nodes.back());
-    int sid = plan_.storage_id[static_cast<size_t>(out.id)];
-    if (sid < 0) {
-      values_[out.id] = NDArray::Empty(out.shape, out.dtype);
-      continue;
-    }
-    NDArray& storage = token_storage[sid];
-    if (!storage.defined()) {
-      storage = NDArray::Empty({plan_.storage_bytes[static_cast<size_t>(sid)]},
-                               DataType::Int8());
-    }
-    values_[out.id] = NDArray::ShareStorage(storage, out.shape, out.dtype);
-  }
 
   for (const FusedGroup& grp : groups_) {
     std::unordered_set<int> in_group(grp.nodes.begin(), grp.nodes.end());
@@ -150,27 +137,52 @@ void GraphExecutor::Compile() {
   }
 }
 
-void GraphExecutor::SetInput(const std::string& name, const NDArray& value) {
-  auto it = name_to_node_.find(name);
-  CHECK(it != name_to_node_.end()) << "no input named " << name;
-  values_[it->second] = value;
+void CompiledGraph::AllocateBuffers(std::unordered_map<int, NDArray>* values) const {
+  // One buffer per materialized node, sharing byte storage between nodes the memory
+  // plan assigned to the same storage token (their live ranges are disjoint, so
+  // intermediates reuse buffers instead of each getting a fresh allocation). Tokens
+  // are request-local: concurrent requests never share writable storage.
+  std::unordered_map<int, NDArray> token_storage;
+  for (const FusedGroup& grp : groups_) {
+    const Node& out = graph_.node(grp.nodes.back());
+    int sid = plan_.storage_id[static_cast<size_t>(out.id)];
+    if (sid < 0) {
+      (*values)[out.id] = NDArray::Empty(out.shape, out.dtype);
+      continue;
+    }
+    NDArray& storage = token_storage[sid];
+    if (!storage.defined()) {
+      storage = NDArray::Empty({plan_.storage_bytes[static_cast<size_t>(sid)]},
+                               DataType::Int8());
+    }
+    (*values)[out.id] = NDArray::ShareStorage(storage, out.shape, out.dtype);
+  }
 }
 
-void GraphExecutor::SetParam(const std::string& name, const NDArray& value) {
-  SetInput(name, value);
+void CompiledGraph::SetParam(const std::string& name, const NDArray& value) {
+  params_[NodeIdOf(name)] = value;
 }
 
-void GraphExecutor::Run() {
+void CompiledGraph::Run(RunContext* ctx, const vm::ExecOptions& exec) const {
+  CHECK(ctx != nullptr && ctx->compiled_.get() == this)
+      << "RunContext belongs to a different CompiledGraph";
+  auto buffer_of = [&](int id) -> const NDArray& {
+    auto it = ctx->values_.find(id);
+    if (it != ctx->values_.end()) {
+      return it->second;  // per-request inputs and intermediates win over params
+    }
+    auto pit = params_.find(id);
+    CHECK(pit != params_.end()) << "unbound graph buffer " << graph_.node(id).name;
+    return pit->second;
+  };
   for (const Kernel& k : kernels_) {
     std::vector<BufferBinding> bindings;
     for (int id : k.input_nodes) {
-      auto it = values_.find(id);
-      CHECK(it != values_.end()) << "unbound graph buffer " << graph_.node(id).name;
-      bindings.push_back(it->second.Binding());
+      bindings.push_back(buffer_of(id).Binding());
     }
-    bindings.push_back(values_.at(k.output_node).Binding());
+    bindings.push_back(buffer_of(k.output_node).Binding());
     if (k.program != nullptr && GetExecEngine() == ExecEngine::kVm) {
-      vm::Run(*k.program, bindings);
+      vm::Run(*k.program, bindings, exec);
     } else {
       if (GetExecEngine() == ExecEngine::kVm) {
         // VM engine selected but the kernel failed to compile: record the silent
@@ -182,11 +194,7 @@ void GraphExecutor::Run() {
   }
 }
 
-NDArray GraphExecutor::GetOutput(int index) const {
-  return values_.at(graph_.outputs[static_cast<size_t>(index)]);
-}
-
-double GraphExecutor::EstimateSeconds() const {
+double CompiledGraph::EstimateSeconds() const {
   double total = 0;
   for (const Kernel& k : kernels_) {
     total += EstimateCost(target_, k.func).seconds;
@@ -194,12 +202,26 @@ double GraphExecutor::EstimateSeconds() const {
   return total;
 }
 
-std::vector<std::pair<std::string, double>> GraphExecutor::KernelCosts() const {
+std::vector<std::pair<std::string, double>> CompiledGraph::KernelCosts() const {
   std::vector<std::pair<std::string, double>> out;
   for (const Kernel& k : kernels_) {
     out.emplace_back(k.name, EstimateCost(target_, k.func).seconds);
   }
   return out;
+}
+
+RunContext::RunContext(std::shared_ptr<const CompiledGraph> compiled)
+    : compiled_(std::move(compiled)) {
+  CHECK(compiled_ != nullptr) << "RunContext over a null CompiledGraph";
+  compiled_->AllocateBuffers(&values_);
+}
+
+void RunContext::SetInput(const std::string& name, const NDArray& value) {
+  values_[compiled_->NodeIdOf(name)] = value;
+}
+
+NDArray RunContext::GetOutput(int index) const {
+  return values_.at(compiled_->graph().outputs[static_cast<size_t>(index)]);
 }
 
 }  // namespace graph

@@ -1,12 +1,21 @@
 // Graph executor (Section 2's runtime module): compiles a computational graph into fused
-// kernels for a target, runs them on the reference interpreter, and estimates end-to-end
-// latency on the target's machine model.
+// kernels for a target and runs them on the selected execution engine.
+//
+// The execution path is split for concurrent serving (src/serve):
+//   - CompiledGraph: the immutable product of graph compilation — fused groups, memory
+//     plan, lowered funcs, and cached vm::Programs. Shared read-only by any number of
+//     in-flight requests; Run() is const and reentrant.
+//   - RunContext: the cheap per-request state — input/output/intermediate buffers laid
+//     out per the memory plan. One per logically-concurrent request.
+//   - GraphExecutor: the original single-request convenience facade, now a thin
+//     CompiledGraph + RunContext pair with the same API as before the split.
 #ifndef SRC_GRAPH_EXECUTOR_H_
 #define SRC_GRAPH_EXECUTOR_H_
 
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -28,16 +37,42 @@ struct CompileOptions {
   const TunedConfigs* tuned = nullptr;
 };
 
-class GraphExecutor {
+class CompiledGraph;
+
+// Per-request mutable state: one buffer per materialized node, with intermediates
+// sharing storage tokens per the memory plan. Construction is cheap relative to
+// compilation (a handful of allocations); N concurrent requests hold N RunContexts
+// against one shared CompiledGraph.
+class RunContext {
  public:
-  GraphExecutor(Graph g, Target target, CompileOptions options = {});
+  explicit RunContext(std::shared_ptr<const CompiledGraph> compiled);
 
   void SetInput(const std::string& name, const NDArray& value);
-  void SetParam(const std::string& name, const NDArray& value);
-  // Executes all kernels: each fused kernel runs its bytecode program compiled and
-  // cached at construction time (or the reference interpreter, per GetExecEngine()).
-  void Run();
   NDArray GetOutput(int index) const;
+  const CompiledGraph& compiled() const { return *compiled_; }
+
+ private:
+  friend class CompiledGraph;
+  std::shared_ptr<const CompiledGraph> compiled_;
+  std::unordered_map<int, NDArray> values_;  // node id -> buffer
+};
+
+// The immutable compiled form of a graph: safe to share across threads. Parameters
+// (weights) bound via SetParam before serving starts are shared by every RunContext;
+// SetParam itself is not synchronized against concurrent Run() calls.
+class CompiledGraph {
+ public:
+  CompiledGraph(Graph g, Target target, CompileOptions options = {});
+
+  // Binds a weight shared by all requests. Call before concurrent Run()s begin.
+  void SetParam(const std::string& name, const NDArray& value);
+
+  // Executes all kernels against the request's buffers: each fused kernel runs its
+  // bytecode program compiled and cached at construction time (or the reference
+  // interpreter, per GetExecEngine()). Const and reentrant: any number of Run()s on
+  // distinct RunContexts may be in flight; `exec` selects the worker pool / thread
+  // count for intra-kernel kParallel chunking.
+  void Run(RunContext* ctx, const vm::ExecOptions& exec = {}) const;
 
   // Sum of per-kernel machine-model costs: the end-to-end latency estimate.
   double EstimateSeconds() const;
@@ -49,8 +84,11 @@ class GraphExecutor {
   const Graph& graph() const { return graph_; }
   // The master workloads encountered (for tuning ahead of compilation).
   const std::vector<topi::OpWorkload>& workloads() const { return workloads_; }
+  int NodeIdOf(const std::string& name) const;
 
  private:
+  friend class RunContext;
+
   struct Kernel {
     LoweredFunc func;
     // Bytecode program compiled once at graph-compile time; null when the VM cannot
@@ -63,6 +101,9 @@ class GraphExecutor {
 
   void Compile();
   topi::OpWorkload WorkloadOf(const Node& master) const;
+  // Allocates the per-request buffers for all materialized nodes, sharing byte
+  // storage between nodes assigned to the same memory-plan token.
+  void AllocateBuffers(std::unordered_map<int, NDArray>* values) const;
 
   Graph graph_;
   Target target_;
@@ -71,8 +112,50 @@ class GraphExecutor {
   MemoryPlan plan_;
   std::vector<Kernel> kernels_;
   std::vector<topi::OpWorkload> workloads_;
-  std::unordered_map<int, NDArray> values_;  // node id -> buffer
+  std::unordered_map<int, NDArray> params_;  // weights shared by all RunContexts
   std::unordered_map<std::string, int> name_to_node_;
+};
+
+// Single-request facade over a private CompiledGraph + RunContext, preserving the
+// pre-split API. Tests, benches, and examples that run one request at a time use
+// this; the serving layer shares the CompiledGraph across many RunContexts instead.
+class GraphExecutor {
+ public:
+  GraphExecutor(Graph g, Target target, CompileOptions options = {})
+      : compiled_(std::make_shared<CompiledGraph>(std::move(g), std::move(target),
+                                                  options)),
+        ctx_(compiled_) {}
+
+  void SetInput(const std::string& name, const NDArray& value) {
+    ctx_.SetInput(name, value);
+  }
+  // Binds a weight on the shared CompiledGraph (not this facade's RunContext), so a
+  // compiled() handle later given to serve::InferenceServer carries the params. For
+  // this facade's own Run() the lookup order (context first, params second) makes
+  // the two destinations indistinguishable.
+  void SetParam(const std::string& name, const NDArray& value) {
+    compiled_->SetParam(name, value);
+  }
+  void Run() { compiled_->Run(&ctx_); }
+  NDArray GetOutput(int index) const { return ctx_.GetOutput(index); }
+
+  double EstimateSeconds() const { return compiled_->EstimateSeconds(); }
+  std::vector<std::pair<std::string, double>> KernelCosts() const {
+    return compiled_->KernelCosts();
+  }
+
+  int num_kernels() const { return compiled_->num_kernels(); }
+  const MemoryPlan& memory_plan() const { return compiled_->memory_plan(); }
+  const Graph& graph() const { return compiled_->graph(); }
+  const std::vector<topi::OpWorkload>& workloads() const {
+    return compiled_->workloads();
+  }
+  // The shared compiled form, e.g. to hand to serve::InferenceServer.
+  std::shared_ptr<const CompiledGraph> compiled() const { return compiled_; }
+
+ private:
+  std::shared_ptr<CompiledGraph> compiled_;
+  RunContext ctx_;
 };
 
 }  // namespace graph

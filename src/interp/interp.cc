@@ -1,5 +1,6 @@
 #include "src/interp/interp.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -444,8 +445,10 @@ void RunLoweredInterp(const LoweredFunc& func, const std::vector<BufferBinding>&
 
 namespace {
 
-ExecEngine& EngineSlot() {
-  static ExecEngine engine = [] {
+// Atomic so concurrent serving threads reading the engine while a test or tool flips
+// it (SetExecEngine) stay race-free; each Run() call observes one coherent value.
+std::atomic<ExecEngine>& EngineSlot() {
+  static std::atomic<ExecEngine> engine = [] {
     const char* s = std::getenv("TVMCPP_ENGINE");
     if (s != nullptr && std::string(s) == "interp") {
       return ExecEngine::kInterp;
@@ -457,8 +460,10 @@ ExecEngine& EngineSlot() {
 
 }  // namespace
 
-void SetExecEngine(ExecEngine engine) { EngineSlot() = engine; }
-ExecEngine GetExecEngine() { return EngineSlot(); }
+void SetExecEngine(ExecEngine engine) {
+  EngineSlot().store(engine, std::memory_order_relaxed);
+}
+ExecEngine GetExecEngine() { return EngineSlot().load(std::memory_order_relaxed); }
 
 void RunLowered(const LoweredFunc& func, const std::vector<BufferBinding>& args) {
   if (GetExecEngine() == ExecEngine::kVm) {

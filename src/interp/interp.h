@@ -27,6 +27,8 @@ struct BufferBinding {
 // Which engine RunLowered dispatches to. The bytecode VM (src/vm) is the default; the
 // tree-walking interpreter remains the reference semantics and the fallback for
 // programs the VM cannot compile. Overridable via env TVMCPP_ENGINE=interp|vm.
+// The slot is atomic: concurrent serving threads may read it while a test flips it,
+// and each Run observes one coherent value (see src/vm/README.md, "Concurrency").
 enum class ExecEngine { kVm, kInterp };
 void SetExecEngine(ExecEngine engine);
 ExecEngine GetExecEngine();

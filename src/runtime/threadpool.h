@@ -1,5 +1,17 @@
-// A small fixed-size thread pool, used by the simulated RPC device cluster (Section 5.4)
-// to run measurement jobs concurrently.
+// A small fixed-size thread pool. Used by the simulated RPC device cluster
+// (Section 5.4) for measurement jobs, by the VM for kParallel loop chunks, and by the
+// serving scheduler (src/serve) as the process-wide worker pool multiplexing whole
+// inference requests and intra-kernel chunks over the same threads.
+//
+// Jobs come in two classes. Submit enqueues general jobs (RPC measurements, whole
+// inference requests). SubmitNested enqueues sub-jobs spawned from *inside* a running
+// job (kParallel loop chunks); workers prefer them over general jobs, and TryRunOne
+// lets a thread that is blocked on nested-job futures help drain them instead of
+// idling. This makes nested submission deadlock-free — a pool worker that fans a
+// kParallel loop out as chunk jobs executes pending chunks itself while it waits, so
+// progress never depends on a free worker existing — without the waiter ever stealing
+// an unrelated general job (which could nest a whole multi-millisecond request inside
+// a chunk wait and inflate that request's latency).
 #ifndef SRC_RUNTIME_THREADPOOL_H_
 #define SRC_RUNTIME_THREADPOOL_H_
 
@@ -39,38 +51,73 @@ class ThreadPool {
 
   template <typename F>
   auto Submit(F&& f) -> std::future<decltype(f())> {
-    using R = decltype(f());
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
-    std::future<R> result = task->get_future();
+    return Enqueue(std::forward<F>(f), &queue_);
+  }
+
+  // Sub-jobs spawned from inside a running job. Workers run these before general
+  // jobs, and only these are eligible for TryRunOne help.
+  template <typename F>
+  auto SubmitNested(F&& f) -> std::future<decltype(f())> {
+    return Enqueue(std::forward<F>(f), &nested_);
+  }
+
+  // Pops and runs one queued *nested* job on the calling thread. Returns false when
+  // no nested job is pending (the caller should then block on its future: every
+  // outstanding nested job is already being executed by some thread).
+  bool TryRunOne() {
+    std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_.push([task] { (*task)(); });
+      if (nested_.empty()) {
+        return false;
+      }
+      job = std::move(nested_.front());
+      nested_.pop();
     }
-    cv_.notify_one();
-    return result;
+    job();
+    return true;
   }
 
   int size() const { return static_cast<int>(workers_.size()); }
 
  private:
+  template <typename F>
+  auto Enqueue(F&& f, std::queue<std::function<void()>>* q)
+      -> std::future<decltype(f())> {
+    using R = decltype(f());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      q->push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
   void WorkerLoop() {
     for (;;) {
       std::function<void()> job;
       {
         std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-        if (stop_ && queue_.empty()) {
+        cv_.wait(lock,
+                 [this] { return stop_ || !queue_.empty() || !nested_.empty(); });
+        if (stop_ && queue_.empty() && nested_.empty()) {
           return;
         }
-        job = std::move(queue_.front());
-        queue_.pop();
+        // Nested jobs first: they are chunks of an already-running job that some
+        // thread may be help-waiting on.
+        std::queue<std::function<void()>>& q = nested_.empty() ? queue_ : nested_;
+        job = std::move(q.front());
+        q.pop();
       }
       job();
     }
   }
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<std::function<void()>> queue_;   // general jobs
+  std::queue<std::function<void()>> nested_;  // sub-jobs of running jobs
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -1,0 +1,189 @@
+#include "src/serve/serve.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/support/logging.h"
+
+namespace tvmcpp {
+namespace serve {
+
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+int EnvInt(const char* name) {
+  if (const char* s = std::getenv(name)) {
+    int v = std::atoi(s);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+int ResolveWorkers(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (int v = EnvInt("TVMCPP_SERVE_WORKERS")) {
+    return v;
+  }
+  if (int v = EnvInt("TVMCPP_NUM_THREADS")) {
+    return v;
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  // At least 2 so request-level concurrency (and its tests) are exercised even on
+  // single-core machines.
+  return std::max(2, hc > 0 ? static_cast<int>(hc) : 1);
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(ServerOptions options)
+    : workers_(ResolveWorkers(options.num_workers)),
+      queue_(static_cast<size_t>(options.queue_capacity > 0 ? options.queue_capacity
+                                                            : 64)),
+      pool_(std::make_unique<ThreadPool>(workers_)) {}
+
+InferenceServer::~InferenceServer() {
+  Shutdown();
+  pool_.reset();
+}
+
+std::future<InferenceResponse> InferenceServer::Submit(
+    std::shared_ptr<const graph::CompiledGraph> model, InferenceRequest request) {
+  CHECK(model != nullptr) << "Submit with a null model";
+  // Keeps Shutdown (and thus the destructor) from completing while this call still
+  // touches pool_/mu_/drained_: the drain predicate requires submitting_ == 0, so a
+  // Submit that began before destruction finishes before the members are freed.
+  submitting_.fetch_add(1, std::memory_order_relaxed);
+  struct SubmitGuard {
+    InferenceServer* s;
+    ~SubmitGuard() {
+      // Decrement and notify under the lock: a Shutdown waiter can then only
+      // observe the decrement after acquiring mu_, i.e. after this thread has
+      // stopped touching the server's members.
+      std::lock_guard<std::mutex> lock(s->mu_);
+      s->submitting_.fetch_sub(1, std::memory_order_relaxed);
+      s->drained_.notify_all();
+    }
+  } guard{this};
+  Pending p;
+  p.model = std::move(model);
+  p.request = std::move(request);
+  p.promise = std::make_shared<std::promise<InferenceResponse>>();
+  p.enqueued = std::chrono::steady_clock::now();
+  std::future<InferenceResponse> result = p.promise->get_future();
+
+  // Count the request as accepted *before* the push so Shutdown's drain predicate
+  // (completed == accepted) can never observe a queued request it is not waiting for.
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<std::promise<InferenceResponse>> promise = p.promise;
+  if (!queue_.Push(std::move(p))) {
+    accepted_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    promise->set_exception(std::make_exception_ptr(
+        std::runtime_error("InferenceServer is shut down")));
+    return result;  // the SubmitGuard notifies any Shutdown waiter
+  }
+  // One pool job per accepted request: the job pops exactly one entry, so every
+  // accepted request is matched by a job and the pop below can never block.
+  pool_->Submit([this] { ExecuteOne(); });
+  return result;
+}
+
+void InferenceServer::ExecuteOne() {
+  Pending p;
+  if (!queue_.TryPop(&p)) {
+    return;  // unreachable: jobs and queue entries are 1:1
+  }
+  int active = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::chrono::steady_clock::time_point started = std::chrono::steady_clock::now();
+
+  // Two-level policy: whole-request parallelism is already saturating the pool when
+  // the backlog (running + still-queued requests) reaches the worker count, so
+  // kParallel loops inside the kernels run serially; with a shallow backlog the
+  // request fans its kParallel chunks out over the idle workers instead, so a lone
+  // request still uses all cores.
+  vm::ExecOptions exec;
+  exec.pool = pool_.get();
+  int backlog = static_cast<int>(queue_.size()) + active;
+  if (backlog >= workers_) {
+    exec.num_threads = 1;
+    serial_runs_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    exec.num_threads = std::max(1, workers_ - active + 1);
+    chunked_runs_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  InferenceResponse resp;
+  std::exception_ptr err;
+  try {
+    graph::RunContext ctx(p.model);
+    for (const auto& kv : p.request.inputs) {
+      ctx.SetInput(kv.first, kv.second);
+    }
+    p.model->Run(&ctx, exec);
+    size_t num_outputs = p.model->graph().outputs.size();
+    resp.outputs.reserve(num_outputs);
+    for (size_t i = 0; i < num_outputs; ++i) {
+      resp.outputs.push_back(ctx.GetOutput(static_cast<int>(i)));
+    }
+    std::chrono::steady_clock::time_point done = std::chrono::steady_clock::now();
+    resp.queue_ms = MsBetween(p.enqueued, started);
+    resp.run_ms = MsBetween(started, done);
+  } catch (...) {
+    err = std::current_exception();
+  }
+
+  // Stats bookkeeping strictly before the promise is fulfilled: a client that
+  // returns from future.get() must observe its own request in stats().completed.
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (err) {
+    p.promise->set_exception(err);
+  } else {
+    p.promise->set_value(std::move(resp));
+  }
+  // Drain bookkeeping strictly after: Shutdown must not return until every accepted
+  // request's future is actually fulfilled.
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+  }
+  drained_.notify_all();
+}
+
+void InferenceServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  queue_.Close();  // new Submits fail; accepted entries stay poppable
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] {
+    return delivered_.load(std::memory_order_relaxed) >=
+               accepted_.load(std::memory_order_relaxed) &&
+           submitting_.load(std::memory_order_relaxed) == 0;
+  });
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.chunked_runs = chunked_runs_.load(std::memory_order_relaxed);
+  s.serial_runs = serial_runs_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace serve
+}  // namespace tvmcpp

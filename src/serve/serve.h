@@ -1,0 +1,124 @@
+// Concurrent inference serving (the paper's "deployed inference" runtime side).
+//
+// An InferenceServer owns one process-wide ThreadPool and a bounded MPMC request
+// queue, and multiplexes many logically-concurrent inference requests over the pool.
+// Requests execute against shared, immutable graph::CompiledGraphs; each in-flight
+// request gets its own graph::RunContext, so N requests share compiled code (lowered
+// funcs + cached vm::Programs + memory plan) but never writable buffers.
+//
+// Scheduling is two-level:
+//   level 1 (whole-request): each accepted request becomes one pool job; with a deep
+//     queue, throughput comes from running W requests concurrently, and kernels
+//     inside a request run with serial kParallel loops (chunking would only add
+//     contention when the pool is already saturated with requests).
+//   level 2 (intra-kernel): when the server is shallow (fewer active+pending
+//     requests than workers), requests fan their kParallel loops out as chunk jobs
+//     on the *same* pool via vm::ExecOptions, so a lone request still uses all
+//     cores. A request thread waiting on its chunks helps drain the pool
+//     (ThreadPool::TryRunOne), so the single shared pool cannot deadlock.
+#ifndef SRC_SERVE_SERVE_H_
+#define SRC_SERVE_SERVE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/executor.h"
+#include "src/runtime/ndarray.h"
+#include "src/runtime/threadpool.h"
+#include "src/serve/queue.h"
+
+namespace tvmcpp {
+namespace serve {
+
+// One inference call: named input tensors for a shared compiled model.
+struct InferenceRequest {
+  std::unordered_map<std::string, NDArray> inputs;
+};
+
+struct InferenceResponse {
+  std::vector<NDArray> outputs;  // one per graph output; per-request storage
+  double queue_ms = 0;           // time spent waiting in the request queue
+  double run_ms = 0;             // kernel execution time
+};
+
+struct ServerOptions {
+  // Worker threads in the shared pool. 0 = TVMCPP_SERVE_WORKERS env, else
+  // TVMCPP_NUM_THREADS env, else std::thread::hardware_concurrency() — floored at 2
+  // when defaulted, so request-level concurrency exists even on single-core hosts
+  // (an explicit num_workers is used verbatim).
+  int num_workers = 0;
+  // Bounded request-queue capacity; Submit blocks when this many requests are
+  // pending (backpressure toward clients).
+  int queue_capacity = 64;
+};
+
+struct ServerStats {
+  int64_t accepted = 0;   // requests admitted to the queue
+  int64_t completed = 0;  // responses delivered (including errored)
+  int64_t rejected = 0;   // submits after Shutdown
+  int64_t chunked_runs = 0;  // requests that ran with intra-kernel parallelism
+  int64_t serial_runs = 0;   // requests that ran with serial kParallel loops
+};
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(ServerOptions options = {});
+  ~InferenceServer();  // implies Shutdown()
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  // Thread-safe. Enqueues one request against `model` and returns the future
+  // response. Blocks while the queue is full. After Shutdown the future carries a
+  // std::runtime_error instead.
+  std::future<InferenceResponse> Submit(
+      std::shared_ptr<const graph::CompiledGraph> model, InferenceRequest request);
+
+  // Stops accepting new requests and blocks until every accepted request has been
+  // executed and its future fulfilled. The pool threads themselves are joined by the
+  // destructor. Idempotent; thread-safe.
+  void Shutdown();
+
+  int num_workers() const { return workers_; }
+  ServerStats stats() const;
+
+ private:
+  struct Pending {
+    std::shared_ptr<const graph::CompiledGraph> model;
+    InferenceRequest request;
+    std::shared_ptr<std::promise<InferenceResponse>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void ExecuteOne();
+
+  int workers_ = 0;
+  BoundedQueue<Pending> queue_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> completed_{0};  // stats: bumped before the promise is set
+  std::atomic<int64_t> delivered_{0};  // drain: bumped after the promise is set
+  std::atomic<int64_t> submitting_{0};  // Submit calls currently touching members
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> chunked_runs_{0};
+  std::atomic<int64_t> serial_runs_{0};
+  std::atomic<int> active_{0};  // requests currently executing
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_;
+  bool shutdown_ = false;
+};
+
+}  // namespace serve
+}  // namespace tvmcpp
+
+#endif  // SRC_SERVE_SERVE_H_

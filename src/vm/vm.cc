@@ -1,6 +1,7 @@
 #include "src/vm/vm.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -1605,6 +1606,7 @@ void ExecParFor(const Program& p, ExecState& st, const ParForDesc& d,
     }
     return;
   }
+  ThreadPool* pool = opt.pool != nullptr ? opt.pool : WorkerPool();
   // Deterministic chunking: one contiguous block per chunk. Iterations of a kParallel
   // loop are independent by construction, so results are bitwise identical for any
   // chunk count; only the assignment of iterations to workers changes.
@@ -1614,7 +1616,7 @@ void ExecParFor(const Program& p, ExecState& st, const ParForDesc& d,
   for (int c = 0; c < nchunks; ++c) {
     int64_t begin = lo + ext * c / nchunks;
     int64_t chunk_end = lo + ext * (c + 1) / nchunks;
-    futures.push_back(WorkerPool()->Submit([&p, &st, &d, &opt, begin, chunk_end] {
+    futures.push_back(pool->SubmitNested([&p, &st, &d, &opt, begin, chunk_end] {
       // Workers clone the register file and buffer table: loop-invariant values and
       // outer buffers are shared read-only, while registers written in the body and
       // buffers allocated in the body stay private to the worker.
@@ -1631,6 +1633,15 @@ void ExecParFor(const Program& p, ExecState& st, const ParForDesc& d,
   }
   std::exception_ptr err;
   for (std::future<void>& f : futures) {
+    // Help-while-wait: drain pending chunk (nested) jobs instead of idling, so a
+    // pool worker that reached this point (a serving request job fanning out its own
+    // chunks) keeps chunks progressing and can never deadlock on a full pool.
+    // General jobs (whole requests) are never stolen here.
+    while (f.wait_for(std::chrono::seconds(0)) == std::future_status::timeout) {
+      if (!pool->TryRunOne()) {
+        f.wait();  // queue drained: the chunk is running on another thread
+      }
+    }
     try {
       f.get();
     } catch (...) {

@@ -24,6 +24,9 @@
 #include "src/lower/lower.h"
 
 namespace tvmcpp {
+
+class ThreadPool;  // src/runtime/threadpool.h
+
 namespace vm {
 
 struct Program;  // defined in vm.cc; opaque to callers
@@ -46,10 +49,19 @@ void SetStrictMode(bool strict);
 // Called by the RunLowered dispatcher.
 void NoteFallback(const std::string& func_name);
 
+// Explicit per-run engine context. Execution state itself (registers, buffer table)
+// is always run-local, so any number of Run() calls on the same shared Program may be
+// in flight concurrently; this struct only selects where kParallel chunks execute.
 struct ExecOptions {
   // Worker count for kParallel loops. 0 = TVMCPP_NUM_THREADS env or
   // std::thread::hardware_concurrency(); 1 = force serial execution.
   int num_threads = 0;
+  // Worker pool for kParallel chunks. nullptr = the lazily-created process-wide pool.
+  // The serving scheduler (src/serve) passes its own pool here so request-level jobs
+  // and intra-kernel chunks multiplex over the same threads; a thread that waits on
+  // chunk futures helps drain the pool (ThreadPool::TryRunOne), so submitting from a
+  // pool worker cannot deadlock.
+  ThreadPool* pool = nullptr;
 };
 
 // Executes a compiled program with `args` bound positionally to the function arguments.

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# docs-check: keeps docs/ARCHITECTURE.md's directory map in sync with src/.
+#
+# Fails when (a) a src/ subdirectory is missing from the directory map, or (b) the
+# map documents a `src/<dir>/` that no longer exists. Registered as the `docs_check`
+# CTest so the map cannot silently rot.
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+doc="$root/docs/ARCHITECTURE.md"
+fail=0
+
+if [ ! -f "$doc" ]; then
+  echo "docs-check: missing $doc"
+  exit 1
+fi
+if [ ! -f "$root/README.md" ]; then
+  echo "docs-check: missing top-level README.md"
+  exit 1
+fi
+
+# Every real src/ subdirectory must appear in the map as `src/<name>/`.
+for d in "$root"/src/*/; do
+  name="$(basename "$d")"
+  if ! grep -q "\`src/$name/\`" "$doc"; then
+    echo "docs-check: src/$name/ is missing from the directory map in docs/ARCHITECTURE.md"
+    fail=1
+  fi
+done
+
+# Every documented `src/<name>/` must exist on disk.
+for name in $(grep -o '`src/[A-Za-z0-9_]*/`' "$doc" | sed 's/`//g; s|^src/||; s|/$||' | sort -u); do
+  if [ ! -d "$root/src/$name" ]; then
+    echo "docs-check: docs/ARCHITECTURE.md documents src/$name/ which does not exist"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs-check: directory map is in sync with src/"
+fi
+exit "$fail"
