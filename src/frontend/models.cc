@@ -1,10 +1,22 @@
 #include "src/frontend/models.h"
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tvmcpp {
 namespace frontend {
+
+std::shared_ptr<graph::CompiledGraph> CompileModel(const Model& m, const Target& target,
+                                                   graph::CompileOptions options) {
+  auto compiled =
+      std::make_shared<graph::CompiledGraph>(m.graph, target, std::move(options));
+  for (const auto& kv : m.params) {
+    compiled->SetParam(kv.first, kv.second);
+  }
+  return compiled;
+}
 
 namespace {
 

@@ -4,12 +4,15 @@
 #ifndef SRC_FRONTEND_MODELS_H_
 #define SRC_FRONTEND_MODELS_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/graph/executor.h"
 #include "src/graph/graph.h"
 #include "src/runtime/ndarray.h"
+#include "src/runtime/target.h"
 #include "src/topi/schedules.h"
 
 namespace tvmcpp {
@@ -28,6 +31,17 @@ Model MobileNet(int batch = 1, int image_size = 224);
 Model Dqn(int batch = 1);      // Nature DQN conv trunk (84x84x4 input)
 Model Dcgan(int batch = 1);    // DCGAN generator (100-d code -> 64x64 image)
 Model LstmLanguageModel(int num_steps = 4, int hidden = 650, int batch = 1);
+
+// Compiles a frontend model for `target` with its parameters bound. Model builders
+// seed their random parameters deterministically per parameter name, so two builds
+// of the same model at different batch sizes carry bitwise-identical weights — which
+// makes this the batch-N construction path for the serving layer's dynamic
+// batching, e.g.:
+//   server.SetBatchBuilder(base, [&](int b) {
+//     return frontend::CompileModel(frontend::Dqn(b), target);
+//   });
+std::shared_ptr<graph::CompiledGraph> CompileModel(const Model& m, const Target& target,
+                                                   graph::CompileOptions options = {});
 
 // Table 2: all conv2d workloads of ResNet-18 (C1..C12).
 std::vector<topi::OpWorkload> ResnetConvWorkloads();

@@ -117,6 +117,11 @@ void CompiledGraph::Compile() {
             config = it->second;
           }
         }
+        // Remembered for Rebatched(): batched variants must inherit these exact
+        // configs rather than re-derive defaults from the batched workload, so the
+        // per-row schedule (and thus per-element FP order and performance) is
+        // unchanged by batching.
+        chosen_configs_[wl.Key()] = config;
       }
     }
     Schedule sch = topi::ScheduleFusedGroup(target_, {output},
@@ -161,6 +166,38 @@ void CompiledGraph::AllocateBuffers(std::unordered_map<int, NDArray>* values) co
 
 void CompiledGraph::SetParam(const std::string& name, const NDArray& value) {
   params_[NodeIdOf(name)] = value;
+}
+
+std::shared_ptr<CompiledGraph> CompiledGraph::Rebatched(int factor) const {
+  // The batched variant reuses this model's schedule configs, remapped to the
+  // batched workload keys (batch-1 tile choices stay valid: their divisors divide
+  // the scaled n too). Re-deriving DefaultConfig from the batched workload would
+  // pick different tilings — e.g. dense tile_y > 1 — changing per-row code for no
+  // benefit and costing per-row performance in the small-kernel regime batching
+  // exists to amortize.
+  TunedConfigs tuned;
+  for (const topi::OpWorkload& wl : workloads_) {
+    auto it = chosen_configs_.find(wl.Key());
+    if (it != chosen_configs_.end()) {
+      topi::OpWorkload batched_wl = wl;
+      batched_wl.n *= factor;
+      tuned[batched_wl.Key()] = it->second;
+    }
+  }
+  // graph_ is the post-AlterLayout graph when enable_layout was on, so the variant
+  // must not run the layout pass a second time.
+  CompileOptions options = options_;
+  options.enable_layout = false;
+  options.tuned = &tuned;
+  auto batched = std::make_shared<CompiledGraph>(RebatchGraph(graph_, factor),
+                                                 target_, options);
+  // `tuned` is only read during Compile() (in the constructor above); null the
+  // pointer so the stored options never dangle into this stack frame.
+  batched->options_.tuned = nullptr;
+  // RebatchGraph preserves node ids, so the id-keyed weight bindings transfer
+  // directly; the NDArrays themselves are shared (read-only at run time).
+  batched->params_ = params_;
+  return batched;
 }
 
 void CompiledGraph::Run(RunContext* ctx, const vm::ExecOptions& exec) const {

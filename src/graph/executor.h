@@ -74,6 +74,15 @@ class CompiledGraph {
   // count for intra-kernel kParallel chunking.
   void Run(RunContext* ctx, const vm::ExecOptions& exec = {}) const;
 
+  // Compiles a batched variant of this graph: every `input` node's leading (batch)
+  // dimension is scaled by `factor` (RebatchGraph) and the result is compiled for the
+  // same target/options, sharing this model's parameter NDArrays (weights are
+  // batch-invariant). Used by the serving layer's dynamic batching to run N coalesced
+  // requests as one kernel invocation; the per-request FP operation order is
+  // unchanged (CPU schedules never split reduction axes per batch), so per-slice
+  // results stay bitwise-identical to batch-1 runs.
+  std::shared_ptr<CompiledGraph> Rebatched(int factor) const;
+
   // Sum of per-kernel machine-model costs: the end-to-end latency estimate.
   double EstimateSeconds() const;
   // Per-kernel breakdown (kernel name, seconds).
@@ -112,6 +121,9 @@ class CompiledGraph {
   MemoryPlan plan_;
   std::vector<Kernel> kernels_;
   std::vector<topi::OpWorkload> workloads_;
+  // Schedule config actually used per workload key (tuned or default) — inherited
+  // verbatim by Rebatched() variants so batching never changes per-row schedules.
+  TunedConfigs chosen_configs_;
   std::unordered_map<int, NDArray> params_;  // weights shared by all RunContexts
   std::unordered_map<std::string, int> name_to_node_;
 };

@@ -249,6 +249,27 @@ int Graph::AddOp(const std::string& op, const std::string& name, std::vector<int
   return nodes_.back().id;
 }
 
+Graph RebatchGraph(const Graph& g, int factor) {
+  CHECK_GE(factor, 1) << "RebatchGraph factor must be positive";
+  Graph out;
+  for (const Node& n : g.nodes()) {
+    int id;
+    if (n.op == "input") {
+      CHECK(!n.shape.empty()) << "cannot rebatch scalar input " << n.name;
+      std::vector<int64_t> shape = n.shape;
+      shape[0] *= factor;
+      id = out.AddInput(n.name, std::move(shape), n.dtype);
+    } else if (n.op == "const") {
+      id = out.AddConst(n.name, n.shape, n.dtype);
+    } else {
+      id = out.AddOp(n.op, n.name, n.inputs, n.attrs);
+    }
+    CHECK_EQ(id, n.id) << "RebatchGraph must preserve node ids";
+  }
+  out.outputs = g.outputs;
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Operator fusion (the paper's rules over the four categories)
 // ---------------------------------------------------------------------------
@@ -326,7 +347,47 @@ std::vector<FusedGroup> FuseOps(const Graph& g, bool enable_fusion) {
     }
     group_of[static_cast<size_t>(node.id)] = target_group;
   }
-  return groups;
+
+  // The greedy pass above creates groups in node-id order, but a node may fuse into
+  // a group *created earlier* than the group of one of its other producers (diamond
+  // shapes: add(gx, gh) fuses onto gx's group, which predates gh's) — so creation
+  // order is not a valid execution order. The executor runs kernels, and PlanMemory
+  // computes buffer liveness, in list-position order, so sort groups topologically
+  // over cross-group data edges. Stable: independent groups keep creation order.
+  size_t m = groups.size();
+  std::vector<std::vector<size_t>> succ(m);
+  std::vector<int> indeg(static_cast<size_t>(m), 0);
+  for (size_t gi = 0; gi < m; ++gi) {
+    for (int id : groups[gi].nodes) {
+      for (int in : g.node(id).inputs) {
+        int pg = group_of[static_cast<size_t>(in)];
+        if (pg >= 0 && static_cast<size_t>(pg) != gi) {
+          succ[static_cast<size_t>(pg)].push_back(gi);
+          indeg[gi]++;
+        }
+      }
+    }
+  }
+  std::vector<FusedGroup> ordered;
+  ordered.reserve(m);
+  std::vector<bool> emitted(m, false);
+  for (size_t done = 0; done < m;) {
+    size_t picked = m;
+    for (size_t gi = 0; gi < m; ++gi) {
+      if (!emitted[gi] && indeg[gi] == 0) {
+        picked = gi;
+        break;
+      }
+    }
+    CHECK_LT(picked, m) << "cycle in fused-group dependencies";
+    emitted[picked] = true;
+    ordered.push_back(std::move(groups[picked]));
+    for (size_t s : succ[picked]) {
+      indeg[s]--;
+    }
+    ++done;
+  }
+  return ordered;
 }
 
 // ---------------------------------------------------------------------------

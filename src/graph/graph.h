@@ -114,6 +114,15 @@ MemoryPlan PlanMemory(const Graph& g, const std::vector<FusedGroup>& groups);
 // Returns the number of transforms inserted.
 int AlterLayout(Graph* g, const Target& target, int block_c = 4);
 
+// Rebuilds `g` with every `input` node's leading (batch) dimension scaled by
+// `factor`, re-running shape inference so all downstream op shapes pick up the new
+// batch extent; `const` nodes (weights) keep their shapes, and node ids/names/attrs
+// are preserved verbatim. This is the generic path the serving layer uses to compile
+// batched variants of a model for dynamic request batching (concat along N).
+// Requires every operator in the graph to be batch-covariant in dimension 0 —
+// true for the conv/dense/elementwise operator registry here.
+Graph RebatchGraph(const Graph& g, int factor);
+
 }  // namespace graph
 }  // namespace tvmcpp
 

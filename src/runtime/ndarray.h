@@ -70,28 +70,33 @@ class NDArray {
 
   template <typename T>
   T* Data() {
-    return reinterpret_cast<T*>(data_->data());
+    return reinterpret_cast<T*>(data_->data() + byte_offset_);
   }
   template <typename T>
   const T* Data() const {
-    return reinterpret_cast<const T*>(data_->data());
+    return reinterpret_cast<const T*>(data_->data() + byte_offset_);
   }
 
   BufferBinding Binding() const {
-    return BufferBinding{data_ ? const_cast<char*>(data_->data()) : nullptr, dtype_,
-                         NumElements()};
+    return BufferBinding{
+        data_ ? const_cast<char*>(data_->data()) + byte_offset_ : nullptr, dtype_,
+        NumElements()};
   }
 
-  // Creates an array that aliases `storage`'s bytes under its own shape/dtype. Used by
-  // the graph executor to share one memory-plan storage token between several
-  // intermediate tensors whose live ranges do not overlap.
+  // Creates an array that aliases `storage`'s bytes under its own shape/dtype,
+  // starting `byte_offset` bytes into the *viewed* extent of `storage` (offsets
+  // compose, so a view of a view works). Used by the graph executor to share one
+  // memory-plan storage token between several intermediate tensors whose live ranges
+  // do not overlap, and by the serving layer to hand each coalesced request a
+  // zero-copy slice of a batched output tensor.
   static NDArray ShareStorage(const NDArray& storage, std::vector<int64_t> shape,
-                              DataType dtype) {
+                              DataType dtype, int64_t byte_offset = 0) {
     NDArray a;
     a.shape_ = std::move(shape);
     a.dtype_ = dtype;
     a.data_ = storage.data_;
-    CHECK_LE(a.NumElements() * InterpElementBytes(dtype),
+    a.byte_offset_ = storage.byte_offset_ + byte_offset;
+    CHECK_LE(a.byte_offset_ + a.NumElements() * InterpElementBytes(dtype),
              static_cast<int64_t>(a.data_->size()))
         << "storage token too small for aliased tensor";
     return a;
@@ -104,26 +109,28 @@ class NDArray {
   // for ShareStorage views, so copies must use this rather than the storage size.
   int64_t ByteSize() const { return NumElements() * InterpElementBytes(dtype_); }
 
-  // Deep copy.
+  // Deep copy (always into fresh zero-offset storage).
   NDArray Copy() const {
     NDArray a;
     a.shape_ = shape_;
     a.dtype_ = dtype_;
     a.data_ = std::make_shared<std::vector<char>>(
-        data_->begin(), data_->begin() + static_cast<ptrdiff_t>(ByteSize()));
+        data_->begin() + static_cast<ptrdiff_t>(byte_offset_),
+        data_->begin() + static_cast<ptrdiff_t>(byte_offset_ + ByteSize()));
     return a;
   }
 
   void CopyFrom(const NDArray& other) {
     CHECK_EQ(NumElements(), other.NumElements());
     CHECK(dtype_ == other.dtype_) << "dtype mismatch in CopyFrom";
-    std::memcpy(data_->data(), other.data_->data(), static_cast<size_t>(ByteSize()));
+    std::memcpy(Data<char>(), other.Data<char>(), static_cast<size_t>(ByteSize()));
   }
 
  private:
   std::shared_ptr<std::vector<char>> data_;
   std::vector<int64_t> shape_;
   DataType dtype_;
+  int64_t byte_offset_ = 0;  // view offset into data_ (ShareStorage slices)
 };
 
 }  // namespace tvmcpp

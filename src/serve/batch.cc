@@ -1,0 +1,123 @@
+#include "src/serve/batch.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/support/logging.h"
+
+namespace tvmcpp {
+namespace serve {
+
+std::shared_ptr<const graph::CompiledGraph> BatchedModelCache::Get(int factor) {
+  CHECK_GE(factor, 1) << "batch factor must be positive";
+  if (factor == 1) {
+    return base_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_factor_.find(factor);
+  if (it != by_factor_.end()) {
+    return it->second;
+  }
+  std::shared_ptr<const graph::CompiledGraph> batched =
+      builder_ != nullptr ? builder_(factor) : base_->Rebatched(factor);
+  CHECK(batched != nullptr) << "batch builder returned null for factor " << factor;
+  // The batched variant must be batch-covariant against the base model: every input
+  // and every output keeps its shape except dimension 0 scaled by `factor`.
+  // Otherwise concat/slice would silently mis-split tensors across requests.
+  auto expect_scaled = [&](const std::vector<int64_t>& base_shape,
+                           const std::vector<int64_t>& got, const std::string& what) {
+    CHECK(!base_shape.empty() && got.size() == base_shape.size() &&
+          got[0] == base_shape[0] * factor)
+        << what << " is not batch-covariant for factor " << factor;
+    for (size_t d = 1; d < base_shape.size(); ++d) {
+      CHECK_EQ(got[d], base_shape[d])
+          << what << " changed a non-batch dimension at factor " << factor;
+    }
+  };
+  for (const graph::Node& n : base_->graph().nodes()) {
+    if (n.op != "input") {
+      continue;
+    }
+    const graph::Node& bn =
+        batched->graph().node(batched->NodeIdOf(n.name));
+    expect_scaled(n.shape, bn.shape, "input " + n.name);
+  }
+  const auto& base_outs = base_->graph().outputs;
+  const auto& batched_outs = batched->graph().outputs;
+  CHECK_EQ(base_outs.size(), batched_outs.size())
+      << "batched variant changed the number of outputs";
+  for (size_t i = 0; i < base_outs.size(); ++i) {
+    expect_scaled(base_->graph().node(base_outs[i]).shape,
+                  batched->graph().node(batched_outs[i]).shape,
+                  "output " + std::to_string(i));
+  }
+  by_factor_.emplace(factor, batched);
+  return batched;
+}
+
+int BatchedModelCache::num_compiled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(by_factor_.size());
+}
+
+bool ShapesCoalesce(const NamedTensors& a, const NamedTensors& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (const auto& kv : a) {
+    auto it = b.find(kv.first);
+    if (it == b.end() || !(kv.second.dtype() == it->second.dtype()) ||
+        kv.second.shape() != it->second.shape()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BindConcatenatedInputs(const std::vector<const NamedTensors*>& reqs,
+                            graph::RunContext* ctx) {
+  CHECK(!reqs.empty());
+  const size_t batch = reqs.size();
+  for (const auto& kv : *reqs[0]) {
+    const NDArray& head = kv.second;
+    std::vector<int64_t> shape = head.shape();
+    CHECK(!shape.empty()) << "cannot batch scalar input " << kv.first;
+    shape[0] *= static_cast<int64_t>(batch);
+    NDArray big = NDArray::Empty(std::move(shape), head.dtype());
+    const int64_t per_bytes = head.ByteSize();
+    char* dst = big.Data<char>();
+    for (size_t i = 0; i < batch; ++i) {
+      const NDArray& part = reqs[i]->at(kv.first);
+      CHECK_EQ(part.ByteSize(), per_bytes) << "coalesced request shape drift";
+      std::memcpy(dst + static_cast<int64_t>(i) * per_bytes, part.Data<char>(),
+                  static_cast<size_t>(per_bytes));
+    }
+    ctx->SetInput(kv.first, big);
+  }
+}
+
+std::vector<std::vector<NDArray>> SliceBatchedOutputs(const graph::RunContext& ctx,
+                                                      int batch) {
+  const size_t num_outputs = ctx.compiled().graph().outputs.size();
+  std::vector<std::vector<NDArray>> per_request(
+      static_cast<size_t>(batch), std::vector<NDArray>());
+  for (auto& v : per_request) {
+    v.reserve(num_outputs);
+  }
+  for (size_t j = 0; j < num_outputs; ++j) {
+    NDArray big = ctx.GetOutput(static_cast<int>(j));
+    std::vector<int64_t> shape = big.shape();
+    CHECK(!shape.empty() && shape[0] % batch == 0)
+        << "batched output " << j << " not divisible into " << batch << " slices";
+    shape[0] /= batch;
+    const int64_t per_bytes = big.ByteSize() / batch;
+    for (int i = 0; i < batch; ++i) {
+      per_request[static_cast<size_t>(i)].push_back(
+          NDArray::ShareStorage(big, shape, big.dtype(), i * per_bytes));
+    }
+  }
+  return per_request;
+}
+
+}  // namespace serve
+}  // namespace tvmcpp

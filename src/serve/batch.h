@@ -1,0 +1,90 @@
+// Dynamic-batching support for the serving layer (see serve.h / docs/ARCHITECTURE.md):
+//
+//   - BatchedModelCache lazily compiles and caches batched variants of one base
+//     CompiledGraph, keyed by batch factor. The default builder rebatches the base
+//     model's own graph (CompiledGraph::Rebatched); a custom builder (e.g. a
+//     frontend::* model constructor called with batch = N) can be supplied for
+//     models whose batched form is built rather than derived.
+//   - ShapesCoalesce is the request-compatibility half of the coalescing predicate:
+//     identical input name sets with identical shapes and dtypes. (Model identity
+//     is the other half, checked by the scheduler.)
+//   - BindConcatenatedInputs / SliceBatchedOutputs implement the data movement:
+//     inputs are concatenated along dimension 0 into batched tensors; outputs are
+//     handed back as zero-copy ShareStorage slices of the batched output buffer.
+//     Per-request results are bitwise-identical to batch-1 runs because batching
+//     only widens the outermost (batch) loop extent — the FP operation order per
+//     output element is unchanged.
+#ifndef SRC_SERVE_BATCH_H_
+#define SRC_SERVE_BATCH_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/executor.h"
+#include "src/runtime/ndarray.h"
+
+namespace tvmcpp {
+namespace serve {
+
+// Named input tensors of one request (the payload of serve::InferenceRequest; kept
+// as a plain map here so this header does not depend on serve.h).
+using NamedTensors = std::unordered_map<std::string, NDArray>;
+
+// Per-model cache of batched compiled variants, keyed by batch factor. Thread-safe;
+// compilation happens at most once per factor (under the cache lock, so two batches
+// of a new size serialize on the compile).
+class BatchedModelCache {
+ public:
+  // Builds the batch=N variant of the base model. Must produce a graph whose input
+  // leading dimensions are the base model's scaled by N (validated in Get).
+  using Builder =
+      std::function<std::shared_ptr<const graph::CompiledGraph>(int batch)>;
+
+  // `builder` == nullptr selects the generic path: base->Rebatched(factor).
+  explicit BatchedModelCache(std::shared_ptr<const graph::CompiledGraph> base,
+                             Builder builder = nullptr)
+      : base_(std::move(base)), builder_(std::move(builder)) {}
+
+  // The batch=`factor` variant; factor 1 is the base model itself. Lazy + cached.
+  std::shared_ptr<const graph::CompiledGraph> Get(int factor);
+
+  const graph::CompiledGraph* base() const { return base_.get(); }
+
+  // True when this cache is the last owner of the base model (every client handle
+  // dropped): the entry can be evicted, freeing the model and all batched variants.
+  bool SoleOwnerOfBase() const { return base_.use_count() == 1; }
+
+  // Number of distinct batched variants compiled so far (excluding factor 1).
+  int num_compiled() const;
+
+ private:
+  std::shared_ptr<const graph::CompiledGraph> base_;
+  Builder builder_;
+  mutable std::mutex mu_;
+  std::unordered_map<int, std::shared_ptr<const graph::CompiledGraph>> by_factor_;
+};
+
+// True when two requests are shape-compatible for coalescing: same input names,
+// and per name the same shape and dtype.
+bool ShapesCoalesce(const NamedTensors& a, const NamedTensors& b);
+
+// Concatenates the requests' inputs along dimension 0 and binds the batched tensors
+// to `ctx` (a RunContext over the batch=reqs.size() model variant). All requests
+// must be pairwise ShapesCoalesce-compatible.
+void BindConcatenatedInputs(const std::vector<const NamedTensors*>& reqs,
+                            graph::RunContext* ctx);
+
+// Slices every batched output back per request: result[i][j] is request i's j-th
+// output, a zero-copy view into the batched output buffer (the view keeps the
+// underlying storage alive).
+std::vector<std::vector<NDArray>> SliceBatchedOutputs(const graph::RunContext& ctx,
+                                                      int batch);
+
+}  // namespace serve
+}  // namespace tvmcpp
+
+#endif  // SRC_SERVE_BATCH_H_

@@ -2,14 +2,22 @@
 // many worker threads pop them. Push blocks while the queue is full (backpressure
 // toward clients instead of unbounded memory growth); Close() wakes everyone, fails
 // subsequent pushes, and lets pops drain what was already accepted.
+//
+// Two extensions support dynamic batching (src/serve/serve.cc): DrainMatching
+// extracts every entry matching a predicate (coalescing same-model requests without
+// disturbing the FIFO order of the rest), and push_seq()/WaitPush let a worker
+// linger for new arrivals without polling.
 #ifndef SRC_SERVE_QUEUE_H_
 #define SRC_SERVE_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 namespace tvmcpp {
 namespace serve {
@@ -30,8 +38,11 @@ class BoundedQueue {
       return false;
     }
     items_.push_back(std::move(item));
+    ++push_seq_;
     lock.unlock();
-    not_empty_.notify_one();
+    // notify_all (not _one): a push must wake both a blocked Pop consumer and any
+    // batching worker lingering in WaitPush — they share not_empty_.
+    not_empty_.notify_all();
     return true;
   }
 
@@ -63,6 +74,47 @@ class BoundedQueue {
     return true;
   }
 
+  // Scans the queue front-to-back and moves every entry for which `pred` returns
+  // true into `out`, up to `max_items` total; non-matching entries keep their
+  // relative FIFO order. Returns the number of entries taken. Used by the batching
+  // scheduler to coalesce same-model/same-shape requests from anywhere in the queue.
+  template <typename Pred>
+  size_t DrainMatching(Pred pred, size_t max_items, std::vector<T>* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t taken = 0;
+    for (auto it = items_.begin(); it != items_.end() && taken < max_items;) {
+      if (pred(*it)) {
+        out->push_back(std::move(*it));
+        it = items_.erase(it);
+        ++taken;
+      } else {
+        ++it;
+      }
+    }
+    if (taken > 0) {
+      lock.unlock();
+      not_full_.notify_all();
+    }
+    return taken;
+  }
+
+  // Monotone counter bumped by every successful Push. Snapshot it before a
+  // DrainMatching scan, then WaitPush(snapshot, ...) to sleep until a push that the
+  // scan could have missed (or close/timeout) — the linger primitive for batching.
+  uint64_t push_seq() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return push_seq_;
+  }
+
+  // Blocks until a push after `seen`, the queue is closed, or `deadline` passes.
+  // Returns true iff a new push happened (push_seq() != seen).
+  bool WaitPush(uint64_t seen, std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_until(lock, deadline,
+                          [this, seen] { return closed_ || push_seq_ != seen; });
+    return push_seq_ != seen;
+  }
+
   void Close() {
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -90,6 +142,7 @@ class BoundedQueue {
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  uint64_t push_seq_ = 0;
   bool closed_ = false;
 };
 

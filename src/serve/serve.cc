@@ -44,10 +44,35 @@ int ResolveWorkers(int requested) {
   return std::max(2, hc > 0 ? static_cast<int>(hc) : 1);
 }
 
+int ResolveMaxBatch(int requested) {
+  if (requested > 0) {
+    return requested;  // 1 = batching explicitly disabled
+  }
+  if (int v = EnvInt("TVMCPP_SERVE_MAX_BATCH")) {
+    return v;
+  }
+  return 1;
+}
+
+double ResolveBatchTimeoutMs(double requested) {
+  if (requested >= 0) {
+    return requested;
+  }
+  if (const char* s = std::getenv("TVMCPP_SERVE_BATCH_TIMEOUT_MS")) {
+    double v = std::atof(s);
+    if (v >= 0) {
+      return v;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 InferenceServer::InferenceServer(ServerOptions options)
     : workers_(ResolveWorkers(options.num_workers)),
+      max_batch_(ResolveMaxBatch(options.max_batch)),
+      batch_timeout_ms_(ResolveBatchTimeoutMs(options.batch_timeout_ms)),
       queue_(static_cast<size_t>(options.queue_capacity > 0 ? options.queue_capacity
                                                             : 64)),
       pool_(std::make_unique<ThreadPool>(workers_)) {}
@@ -99,22 +124,112 @@ std::future<InferenceResponse> InferenceServer::Submit(
   return result;
 }
 
-void InferenceServer::ExecuteOne() {
-  Pending p;
-  if (!queue_.TryPop(&p)) {
-    return;  // unreachable: jobs and queue entries are 1:1
+std::shared_ptr<BatchedModelCache> InferenceServer::CacheFor(
+    const std::shared_ptr<const graph::CompiledGraph>& m) {
+  std::lock_guard<std::mutex> lock(caches_mu_);
+  auto it = caches_.find(m.get());
+  if (it != caches_.end()) {
+    return it->second;
   }
+  // First batch for a new model: also sweep entries whose base model every client
+  // has dropped (the cache is the sole owner), so a long-lived server cycling
+  // through models does not retain every model and its batched variants forever.
+  for (auto e = caches_.begin(); e != caches_.end();) {
+    if (e->second->SoleOwnerOfBase()) {
+      e = caches_.erase(e);
+    } else {
+      ++e;
+    }
+  }
+  std::shared_ptr<BatchedModelCache>& slot = caches_[m.get()];
+  slot = std::make_shared<BatchedModelCache>(m);
+  return slot;
+}
+
+void InferenceServer::SetBatchBuilder(
+    const std::shared_ptr<const graph::CompiledGraph>& model,
+    BatchedModelCache::Builder builder) {
+  std::lock_guard<std::mutex> lock(caches_mu_);
+  // Replacing the slot is safe against in-flight batches: workers hold their own
+  // shared_ptr to the old cache (CacheFor), which stays alive until they finish.
+  caches_[model.get()] =
+      std::make_shared<BatchedModelCache>(model, std::move(builder));
+}
+
+std::vector<InferenceServer::Pending> InferenceServer::FormBatch(Pending head) {
+  std::vector<Pending> batch;
+  // Reserve up front: the coalescing predicate reads batch.front() while
+  // DrainMatching appends, so the vector must never reallocate.
+  batch.reserve(static_cast<size_t>(max_batch_));
+  batch.push_back(std::move(head));
+  const graph::CompiledGraph* model = batch.front().model.get();
+  auto pred = [&](const Pending& p) {
+    return p.model.get() == model &&
+           ShapesCoalesce(batch.front().request.inputs, p.request.inputs);
+  };
+  const size_t max = static_cast<size_t>(max_batch_);
+  const std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(batch_timeout_ms_));
+  for (;;) {
+    // Snapshot the push counter *before* scanning so an arrival racing with the
+    // scan makes the WaitPush below return immediately instead of being missed.
+    uint64_t seen = queue_.push_seq();
+    size_t taken = queue_.DrainMatching(pred, max - batch.size(), &batch);
+    if (taken > 0) {
+      // Drained entries leave queue_.size() but are not yet executing; keep them
+      // visible to concurrent workers' backlog estimate (two-level policy) so a
+      // forming batch doesn't make a saturated server look shallow.
+      active_requests_.fetch_add(static_cast<int>(taken), std::memory_order_relaxed);
+    }
+    if (batch.size() >= max) {
+      full_batches_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (queue_.closed() || std::chrono::steady_clock::now() >= deadline) {
+      timeout_batches_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    queue_.WaitPush(seen, deadline);  // wakes on push, close, or deadline
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(static_cast<int64_t>(batch.size()),
+                              std::memory_order_relaxed);
+  return batch;
+}
+
+void InferenceServer::ExecuteOne() {
+  Pending head;
+  if (!queue_.TryPop(&head)) {
+    // This job's entry was coalesced into an earlier job's batch (or, pre-batching,
+    // unreachable). A job only returns empty-handed after observing an empty queue,
+    // so entries can never be stranded: at all times pending jobs >= queued entries.
+    return;
+  }
+  // The popped head (and every entry FormBatch later drains) counts toward the
+  // request backlog until this execution finishes.
+  active_requests_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Pending> batch;
+  if (max_batch_ > 1) {
+    batch = FormBatch(std::move(head));
+  } else {
+    batch.push_back(std::move(head));  // batching disabled: the 1:1 legacy path
+  }
+  const size_t batch_size = batch.size();
+
   int active = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int active_requests = active_requests_.load(std::memory_order_relaxed);
   std::chrono::steady_clock::time_point started = std::chrono::steady_clock::now();
 
   // Two-level policy: whole-request parallelism is already saturating the pool when
-  // the backlog (running + still-queued requests) reaches the worker count, so
-  // kParallel loops inside the kernels run serially; with a shallow backlog the
-  // request fans its kParallel chunks out over the idle workers instead, so a lone
-  // request still uses all cores.
+  // the backlog (running + still-queued *requests* — a batch of B counts as B)
+  // reaches the worker count, so kParallel loops inside the kernels run serially;
+  // with a shallow backlog the request (or batch) fans its kParallel chunks out
+  // over the idle workers instead, so a lone request still uses all cores.
   vm::ExecOptions exec;
   exec.pool = pool_.get();
-  int backlog = static_cast<int>(queue_.size()) + active;
+  int backlog = static_cast<int>(queue_.size()) + active_requests;
   if (backlog >= workers_) {
     exec.num_threads = 1;
     serial_runs_.fetch_add(1, std::memory_order_relaxed);
@@ -123,38 +238,66 @@ void InferenceServer::ExecuteOne() {
     chunked_runs_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  InferenceResponse resp;
+  std::vector<InferenceResponse> resps(batch_size);
   std::exception_ptr err;
   try {
-    graph::RunContext ctx(p.model);
-    for (const auto& kv : p.request.inputs) {
-      ctx.SetInput(kv.first, kv.second);
-    }
-    p.model->Run(&ctx, exec);
-    size_t num_outputs = p.model->graph().outputs.size();
-    resp.outputs.reserve(num_outputs);
-    for (size_t i = 0; i < num_outputs; ++i) {
-      resp.outputs.push_back(ctx.GetOutput(static_cast<int>(i)));
+    if (batch_size == 1) {
+      // Single request (or batch of one): run the base model directly.
+      const Pending& p = batch.front();
+      graph::RunContext ctx(p.model);
+      for (const auto& kv : p.request.inputs) {
+        ctx.SetInput(kv.first, kv.second);
+      }
+      p.model->Run(&ctx, exec);
+      size_t num_outputs = p.model->graph().outputs.size();
+      resps[0].outputs.reserve(num_outputs);
+      for (size_t i = 0; i < num_outputs; ++i) {
+        resps[0].outputs.push_back(ctx.GetOutput(static_cast<int>(i)));
+      }
+    } else {
+      // Coalesced batch: concat inputs along N, run the cached batched variant
+      // (compiled lazily on first use of this batch size), slice outputs back.
+      std::shared_ptr<const graph::CompiledGraph> batched =
+          CacheFor(batch.front().model)->Get(static_cast<int>(batch_size));
+      graph::RunContext ctx(batched);
+      std::vector<const NamedTensors*> inputs;
+      inputs.reserve(batch_size);
+      for (const Pending& p : batch) {
+        inputs.push_back(&p.request.inputs);
+      }
+      BindConcatenatedInputs(inputs, &ctx);
+      batched->Run(&ctx, exec);
+      std::vector<std::vector<NDArray>> slices =
+          SliceBatchedOutputs(ctx, static_cast<int>(batch_size));
+      for (size_t i = 0; i < batch_size; ++i) {
+        resps[i].outputs = std::move(slices[i]);
+      }
     }
     std::chrono::steady_clock::time_point done = std::chrono::steady_clock::now();
-    resp.queue_ms = MsBetween(p.enqueued, started);
-    resp.run_ms = MsBetween(started, done);
+    for (size_t i = 0; i < batch_size; ++i) {
+      resps[i].queue_ms = MsBetween(batch[i].enqueued, started);
+      resps[i].run_ms = MsBetween(started, done);
+      resps[i].batch_size = static_cast<int>(batch_size);
+    }
   } catch (...) {
     err = std::current_exception();
   }
 
-  // Stats bookkeeping strictly before the promise is fulfilled: a client that
+  // Stats bookkeeping strictly before the promises are fulfilled: a client that
   // returns from future.get() must observe its own request in stats().completed.
   active_.fetch_sub(1, std::memory_order_relaxed);
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  if (err) {
-    p.promise->set_exception(err);
-  } else {
-    p.promise->set_value(std::move(resp));
+  active_requests_.fetch_sub(static_cast<int>(batch_size), std::memory_order_relaxed);
+  completed_.fetch_add(static_cast<int64_t>(batch_size), std::memory_order_relaxed);
+  for (size_t i = 0; i < batch_size; ++i) {
+    if (err) {
+      batch[i].promise->set_exception(err);
+    } else {
+      batch[i].promise->set_value(std::move(resps[i]));
+    }
   }
   // Drain bookkeeping strictly after: Shutdown must not return until every accepted
   // request's future is actually fulfilled.
-  delivered_.fetch_add(1, std::memory_order_relaxed);
+  delivered_.fetch_add(static_cast<int64_t>(batch_size), std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
   }
@@ -182,6 +325,10 @@ ServerStats InferenceServer::stats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.chunked_runs = chunked_runs_.load(std::memory_order_relaxed);
   s.serial_runs = serial_runs_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.full_batches = full_batches_.load(std::memory_order_relaxed);
+  s.timeout_batches = timeout_batches_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -16,6 +16,14 @@
 //     on the *same* pool via vm::ExecOptions, so a lone request still uses all
 //     cores. A request thread waiting on its chunks helps drain the pool
 //     (ThreadPool::TryRunOne), so the single shared pool cannot deadlock.
+//
+// Dynamic batching (ServerOptions::max_batch > 1): a worker that pops a request
+// coalesces every queued same-model, shape-compatible request with it (up to
+// max_batch, lingering up to batch_timeout_ms for late arrivals), concatenates the
+// inputs along dimension 0, runs one batched CompiledGraph variant (compiled lazily
+// per batch size, cached per model in a BatchedModelCache), and resolves each
+// request's future with a zero-copy slice of the batched outputs. Per-request
+// results stay bitwise-identical to unbatched runs; see src/serve/batch.h.
 #ifndef SRC_SERVE_SERVE_H_
 #define SRC_SERVE_SERVE_H_
 
@@ -33,6 +41,7 @@
 #include "src/graph/executor.h"
 #include "src/runtime/ndarray.h"
 #include "src/runtime/threadpool.h"
+#include "src/serve/batch.h"
 #include "src/serve/queue.h"
 
 namespace tvmcpp {
@@ -44,9 +53,12 @@ struct InferenceRequest {
 };
 
 struct InferenceResponse {
-  std::vector<NDArray> outputs;  // one per graph output; per-request storage
+  std::vector<NDArray> outputs;  // one per graph output; per-request storage (a
+                                 // zero-copy slice of the batched buffer when the
+                                 // request was coalesced)
   double queue_ms = 0;           // time spent waiting in the request queue
-  double run_ms = 0;             // kernel execution time
+  double run_ms = 0;             // kernel execution time (of the whole batch)
+  int batch_size = 1;            // how many requests shared this kernel invocation
 };
 
 struct ServerOptions {
@@ -58,14 +70,32 @@ struct ServerOptions {
   // Bounded request-queue capacity; Submit blocks when this many requests are
   // pending (backpressure toward clients).
   int queue_capacity = 64;
+  // Dynamic batching: largest number of same-model, shape-compatible requests one
+  // kernel invocation may coalesce. 1 disables batching (the pre-batching 1:1
+  // request:run path, zero overhead); 0 = TVMCPP_SERVE_MAX_BATCH env, else 1.
+  int max_batch = 0;
+  // How long a worker holding a partial batch lingers for late arrivals before
+  // flushing, in milliseconds. 0 coalesces only what is already queued (the right
+  // choice for closed-loop clients and the default); negative =
+  // TVMCPP_SERVE_BATCH_TIMEOUT_MS env, else 0. Ignored when max_batch == 1.
+  // Trade-off: a lingering worker occupies a pool thread, so with few workers a
+  // long linger delays queued requests of *other* models by up to the timeout;
+  // linger-aware worker sizing / priority scheduling is a ROADMAP follow-on.
+  double batch_timeout_ms = -1;
 };
 
 struct ServerStats {
   int64_t accepted = 0;   // requests admitted to the queue
   int64_t completed = 0;  // responses delivered (including errored)
   int64_t rejected = 0;   // submits after Shutdown
-  int64_t chunked_runs = 0;  // requests that ran with intra-kernel parallelism
-  int64_t serial_runs = 0;   // requests that ran with serial kParallel loops
+  int64_t chunked_runs = 0;  // executions that ran with intra-kernel parallelism
+  int64_t serial_runs = 0;   // executions that ran with serial kParallel loops
+  // Dynamic-batching counters (all zero while max_batch == 1). batches ==
+  // full_batches + timeout_batches; mean batch size = batched_requests / batches.
+  int64_t batches = 0;           // batched-path kernel invocations (any size >= 1)
+  int64_t batched_requests = 0;  // requests executed through the batched path
+  int64_t full_batches = 0;      // flushed because the batch reached max_batch
+  int64_t timeout_batches = 0;   // flushed by the linger deadline (or queue close)
 };
 
 class InferenceServer {
@@ -83,11 +113,20 @@ class InferenceServer {
       std::shared_ptr<const graph::CompiledGraph> model, InferenceRequest request);
 
   // Stops accepting new requests and blocks until every accepted request has been
-  // executed and its future fulfilled. The pool threads themselves are joined by the
-  // destructor. Idempotent; thread-safe.
+  // executed and its future fulfilled (a partial batch lingering for arrivals is
+  // flushed immediately by the queue close). The pool threads themselves are joined
+  // by the destructor. Idempotent; thread-safe.
   void Shutdown();
 
+  // Overrides how batched variants of `model` are compiled (default:
+  // CompiledGraph::Rebatched on the model's own graph). Use this to route batched
+  // compilation through a frontend model constructor's `batch` parameter. Replaces
+  // the model's variant cache, so call before requests for `model` are submitted.
+  void SetBatchBuilder(const std::shared_ptr<const graph::CompiledGraph>& model,
+                       BatchedModelCache::Builder builder);
+
   int num_workers() const { return workers_; }
+  int max_batch() const { return max_batch_; }
   ServerStats stats() const;
 
  private:
@@ -99,10 +138,23 @@ class InferenceServer {
   };
 
   void ExecuteOne();
+  // Coalesces queued requests compatible with `head` (same model, ShapesCoalesce)
+  // up to max_batch_, lingering up to batch_timeout_ms_ for late arrivals.
+  std::vector<Pending> FormBatch(Pending head);
+  // Returned as shared_ptr so a worker mid-execution keeps its cache alive even if
+  // SetBatchBuilder concurrently replaces the map entry.
+  std::shared_ptr<BatchedModelCache> CacheFor(
+      const std::shared_ptr<const graph::CompiledGraph>& m);
 
   int workers_ = 0;
+  int max_batch_ = 1;
+  double batch_timeout_ms_ = 0;
   BoundedQueue<Pending> queue_;
   std::unique_ptr<ThreadPool> pool_;
+
+  std::mutex caches_mu_;  // guards caches_ (per-model batched-variant caches)
+  std::unordered_map<const graph::CompiledGraph*, std::shared_ptr<BatchedModelCache>>
+      caches_;
 
   std::atomic<int64_t> accepted_{0};
   std::atomic<int64_t> completed_{0};  // stats: bumped before the promise is set
@@ -111,7 +163,14 @@ class InferenceServer {
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> chunked_runs_{0};
   std::atomic<int64_t> serial_runs_{0};
-  std::atomic<int> active_{0};  // requests currently executing
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> batched_requests_{0};
+  std::atomic<int64_t> full_batches_{0};
+  std::atomic<int64_t> timeout_batches_{0};
+  std::atomic<int> active_{0};           // executions (jobs) in flight
+  std::atomic<int> active_requests_{0};  // requests inside in-flight executions: a
+                                         // batch of B counts B toward the backlog
+                                         // the two-level policy sees
 
   mutable std::mutex mu_;
   std::condition_variable drained_;

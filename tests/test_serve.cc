@@ -5,6 +5,7 @@
 // in-flight requests, post-shutdown rejection, and backpressure on a tiny queue.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <memory>
@@ -167,13 +168,13 @@ TEST(Serve, TwoModelsInterleaved) {
   }
 }
 
-TEST(Serve, ShutdownWithInflightRequestsCompletesAll) {
+// Shutdown while most requests are still queued or running: every accepted request
+// must still be drained and its future fulfilled. Runs both unbatched and with
+// dynamic batching enabled — in the batched case a partial batch lingering for late
+// arrivals at Stop() must be flushed by the queue close and drained, not dropped.
+void RunShutdownWithInflight(serve::ServerOptions opts) {
   const uint64_t kWeightSeed = 3;
   std::shared_ptr<graph::CompiledGraph> model = MakeChainModel(kWeightSeed);
-
-  serve::ServerOptions opts;
-  opts.num_workers = 2;
-  opts.queue_capacity = 16;
   serve::InferenceServer server(opts);
 
   const int kRequests = 12;
@@ -185,9 +186,11 @@ TEST(Serve, ShutdownWithInflightRequestsCompletesAll) {
     req.inputs["data"] = inputs.back();
     futures.push_back(server.Submit(model, std::move(req)));
   }
-  // Shutdown while most requests are still queued or running: every accepted
-  // request must still be drained and its future fulfilled.
+  auto t0 = std::chrono::steady_clock::now();
   server.Shutdown();
+  double shutdown_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
   for (int i = 0; i < kRequests; ++i) {
     serve::InferenceResponse resp = futures[static_cast<size_t>(i)].get();
     ExpectBitwiseEqual(resp.outputs[0],
@@ -197,6 +200,35 @@ TEST(Serve, ShutdownWithInflightRequestsCompletesAll) {
   serve::ServerStats stats = server.stats();
   EXPECT_EQ(stats.accepted, kRequests);
   EXPECT_EQ(stats.completed, kRequests);
+  if (opts.max_batch > 1) {
+    // Every request went through the batched path, and each formed batch was
+    // accounted as exactly one of full- or timeout-flushed.
+    EXPECT_EQ(stats.batched_requests, kRequests);
+    EXPECT_GE(stats.batches, 1);
+    EXPECT_EQ(stats.batches, stats.full_batches + stats.timeout_batches);
+    // The queue close must flush lingering partial batches immediately; waiting
+    // out the (deliberately huge) linger deadline instead would show up here.
+    EXPECT_LT(shutdown_ms, opts.batch_timeout_ms);
+  }
+}
+
+TEST(Serve, ShutdownWithInflightRequestsCompletesAll) {
+  serve::ServerOptions opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = 16;
+  opts.max_batch = 1;
+  RunShutdownWithInflight(opts);
+}
+
+TEST(Serve, ShutdownWithInflightBatchingEnabledDrainsPartialBatches) {
+  serve::ServerOptions opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = 16;
+  opts.max_batch = 4;
+  // Long linger: without the queue-close flush, Shutdown would hang on a partial
+  // batch waiting out this deadline — the test's 5s watchdog is the ctest timeout.
+  opts.batch_timeout_ms = 5000;
+  RunShutdownWithInflight(opts);
 }
 
 TEST(Serve, SubmitAfterShutdownRejected) {

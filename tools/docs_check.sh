@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# docs-check: keeps docs/ARCHITECTURE.md's directory map in sync with src/.
+# docs-check: keeps docs/ARCHITECTURE.md in sync with the tree.
 #
-# Fails when (a) a src/ subdirectory is missing from the directory map, or (b) the
-# map documents a `src/<dir>/` that no longer exists. Registered as the `docs_check`
-# CTest so the map cannot silently rot.
+# Fails when (a) a src/ subdirectory is missing from the directory map, (b) the
+# map documents a `src/<dir>/` that no longer exists, (c) a TVMCPP_* environment
+# variable referenced in src/ or bench/ is missing from the environment-variable
+# contract table, or (d) the table documents a variable no code references — so new
+# knobs (e.g. the serving layer's batching controls) cannot ship undocumented.
+# Registered as the `docs_check` CTest so the docs cannot silently rot.
 set -u
 
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
@@ -36,7 +39,28 @@ for name in $(grep -o '`src/[A-Za-z0-9_]*/`' "$doc" | sed 's/`//g; s|^src/||; s|
   fi
 done
 
+# Environment-variable contract: every TVMCPP_* env var referenced in code (a quoted
+# string literal — getenv call sites pass the name as a literal, possibly through a
+# helper like EnvInt) must have a row in the docs table, and every documented row
+# must still have a referencing call site. TVMCPP_SOURCE_DIR is a compile-time
+# macro, not an env var, and appears unquoted — the quoted-literal grep skips it.
+code_vars="$(grep -rhoE '"TVMCPP_[A-Z0-9_]+"' "$root/src" "$root/bench" 2>/dev/null \
+             | tr -d '"' | sort -u)"
+doc_vars="$(grep -oE '^\| `TVMCPP_[A-Z0-9_]+`' "$doc" | grep -oE 'TVMCPP_[A-Z0-9_]+' | sort -u)"
+for var in $code_vars; do
+  if ! printf '%s\n' "$doc_vars" | grep -qx "$var"; then
+    echo "docs-check: env var $var is read in src/ or bench/ but missing from the env-var table in docs/ARCHITECTURE.md"
+    fail=1
+  fi
+done
+for var in $doc_vars; do
+  if ! printf '%s\n' "$code_vars" | grep -qx "$var"; then
+    echo "docs-check: docs/ARCHITECTURE.md documents env var $var which no code in src/ or bench/ references"
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
-  echo "docs-check: directory map is in sync with src/"
+  echo "docs-check: directory map and env-var table are in sync with the tree"
 fi
 exit "$fail"
