@@ -152,9 +152,7 @@ RunResult RunServed(serve::InferenceServer* server,
 
 int main() {
   using namespace tvmcpp;
-  const char* sink = std::getenv("TVMCPP_BENCH_JSON");
-  bench::OpenBenchJsonSink(sink != nullptr ? sink
-                                           : TVMCPP_SOURCE_DIR "/BENCH_serve.json");
+  bench::OpenDefaultBenchJsonSink(TVMCPP_SOURCE_DIR "/BENCH_serve.json");
 
   std::shared_ptr<graph::CompiledGraph> model = MakeModel();
   const int kRequests = 48;

@@ -60,12 +60,13 @@ struct BuiltKernel {
 };
 
 BuiltKernel BuildConvRelu(bool parallel) {
+  bool smoke = bench::BenchSmokeMode();
   topi::OpWorkload wl;
   wl.kind = "conv2d";
   wl.n = 1;
-  wl.ic = 16;
-  wl.h = wl.w = 28;
-  wl.oc = 32;
+  wl.ic = smoke ? 8 : 16;
+  wl.h = wl.w = smoke ? 14 : 28;
+  wl.oc = smoke ? 8 : 32;
   wl.k = 3;
   wl.stride = 1;
   wl.pad = 1;
@@ -90,11 +91,12 @@ BuiltKernel BuildConvRelu(bool parallel) {
 }
 
 BuiltKernel BuildDense(int64_t vectorize = -1) {
+  bool smoke = bench::BenchSmokeMode();
   topi::OpWorkload wl;
   wl.kind = "dense";
-  wl.n = 16;
-  wl.k = 256;
-  wl.oc = 256;
+  wl.n = smoke ? 4 : 16;
+  wl.k = smoke ? 64 : 256;
+  wl.oc = smoke ? 64 : 256;
   topi::BuiltOp built = topi::BuildOpCompute(wl);
   Target cpu = Target::ArmA53();
   topi::Config config = topi::DefaultConfig(topi::GetScheduleSpace(wl, cpu));
@@ -114,7 +116,7 @@ BuiltKernel BuildDense(int64_t vectorize = -1) {
 // Elementwise chain with an explicitly vectorized (or serial) inner axis, for the
 // vector-opcode vs scalar-opcode VM comparison.
 BuiltKernel BuildElementwise(bool vectorize) {
-  const int n = 1 << 16;
+  const int n = bench::BenchSmokeMode() ? 1 << 12 : 1 << 16;
   Tensor A = placeholder({make_int(n)}, DataType::Float32(), "A");
   Tensor B = placeholder({make_int(n)}, DataType::Float32(), "B");
   Tensor C = compute({make_int(n)},
@@ -204,11 +206,11 @@ void BenchVectorize(const std::string& name, BuiltKernel scalar, BuiltKernel vec
 
 int main() {
   using namespace tvmcpp;
-  const char* sink = std::getenv("TVMCPP_BENCH_JSON");
-  bench::OpenBenchJsonSink(sink != nullptr ? sink
-                                           : TVMCPP_SOURCE_DIR "/BENCH_vm.json");
+  bench::OpenDefaultBenchJsonSink(TVMCPP_SOURCE_DIR "/BENCH_vm.json");
   std::printf("bytecode VM vs tree-walking interpreter (wall clock)\n\n");
-  const int repeats = 5;
+  // TVMCPP_BENCH_SMOKE=1 (the CI sanity gate) shrinks workloads and repeats so the
+  // sweep finishes in seconds; trajectory runs use the full sizes.
+  const int repeats = bench::BenchSmokeMode() ? 2 : 5;
   BenchKernel("conv2d_relu", BuildConvRelu(/*parallel=*/false), repeats);
   BenchKernel("dense", BuildDense(), repeats);
   BenchParallelScaling(repeats);

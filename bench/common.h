@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -46,42 +47,158 @@ double MeasureMs(F&& fn, int repeats = 3, int warmup = 1) {
   return timer.Ms() / repeats;
 }
 
+// Reduced-size bench mode for the CI smoke gate: benches that honor it shrink
+// workload sizes and repeat counts so the whole sweep finishes in seconds. The CI
+// step only sanity-checks that no speedup line falls below 1.0x; smoke numbers are
+// not trajectory data, so OpenDefaultBenchJsonSink refuses to write them to the
+// tracked BENCH_*.json (CI points TVMCPP_BENCH_JSON at a scratch file instead).
+inline bool BenchSmokeMode() {
+  const char* s = std::getenv("TVMCPP_BENCH_SMOKE");
+  return s != nullptr && std::string(s) == "1";
+}
+
 // Optional file sink for bench JSON lines: when set (e.g. BENCH_vm.json at the repo
 // root), every PrintBenchJson line is mirrored there so the perf trajectory is
-// tracked across PRs without scraping stdout.
-inline std::FILE*& BenchJsonSinkSlot() {
-  static std::FILE* sink = nullptr;
+// tracked across PRs without scraping stdout. Lines are keyed by bench name:
+// re-running a bench (or several benches sharing one BENCH_*.json) replaces that
+// bench's line in place instead of appending a duplicate, so the file holds exactly
+// one current line per benchmark no matter how often CI or a local loop re-runs it.
+struct BenchJsonSink {
+  std::string path;
+  // (bench name, full JSON line) produced by THIS process, insertion-ordered.
+  // Each write re-reads the file and lays these over it, so rows of benches not
+  // re-run here are preserved and legacy duplicate lines collapse (latest
+  // occurrence wins) on first rewrite. The read-merge-rewrite is best-effort, not
+  // atomic: run bench binaries sequentially; racing writers can still lose the
+  // last update.
+  std::vector<std::pair<std::string, std::string>> lines;
+};
+
+inline BenchJsonSink*& BenchJsonSinkSlot() {
+  static BenchJsonSink* sink = nullptr;
   return sink;
 }
 
-// Truncates and opens `path` as the JSON sink (one fresh snapshot per bench run).
+// Extracts the "bench" key of an existing JSON line (empty when absent).
+inline std::string BenchNameOfLine(const std::string& line) {
+  const std::string tag = "\"bench\": \"";
+  size_t at = line.find(tag);
+  if (at == std::string::npos) {
+    return "";
+  }
+  size_t begin = at + tag.size();
+  size_t end = line.find('"', begin);
+  return end == std::string::npos ? "" : line.substr(begin, end - begin);
+}
+
+// Opens `path` as the JSON sink, loading any existing lines so benches not re-run
+// in this process keep their latest results. Loading dedups by bench name (keeping
+// the latest occurrence), so files written by older appending code converge to one
+// line per benchmark on the first re-run.
+// Upserts `line` into `lines` by bench name (unnamed lines always append).
+inline void UpsertBenchLine(std::vector<std::pair<std::string, std::string>>* lines,
+                            const std::string& line) {
+  std::string name = BenchNameOfLine(line);
+  if (!name.empty()) {
+    for (auto& kv : *lines) {
+      if (kv.first == name) {
+        kv.second = line;
+        return;
+      }
+    }
+  }
+  lines->emplace_back(std::move(name), line);
+}
+
+// Reads `path`'s JSON lines into `lines`, deduping by bench name (latest wins).
+inline void LoadBenchLines(const std::string& path,
+                           std::vector<std::pair<std::string, std::string>>* lines) {
+  std::FILE* in = std::fopen(path.c_str(), "r");
+  if (in == nullptr) {
+    return;
+  }
+  std::string line;
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c != '\n') {
+      line.push_back(static_cast<char>(c));
+      continue;
+    }
+    if (!line.empty()) {
+      UpsertBenchLine(lines, line);
+    }
+    line.clear();
+  }
+  if (!line.empty()) {
+    UpsertBenchLine(lines, line);
+  }
+  std::fclose(in);
+}
+
+// Opens `path` as the JSON sink. Existing file content is not snapshotted here:
+// every write re-reads and merges, so the freshest on-disk rows always win.
 inline void OpenBenchJsonSink(const std::string& path) {
-  std::FILE*& sink = BenchJsonSinkSlot();
-  if (sink != nullptr) {
-    std::fclose(sink);
-  }
-  sink = std::fopen(path.c_str(), "w");
-  if (sink == nullptr) {
+  BenchJsonSink*& sink = BenchJsonSinkSlot();
+  delete sink;
+  sink = new BenchJsonSink;
+  sink->path = path;
+  // Probe writability now so a bad path warns once up front, not per line.
+  if (std::FILE* out = std::fopen(path.c_str(), "a")) {
+    std::fclose(out);
+  } else {
     std::printf("warning: cannot open bench JSON sink %s\n", path.c_str());
+    delete sink;
+    sink = nullptr;
   }
+}
+
+// Standard sink selection for bench main()s: TVMCPP_BENCH_JSON wins; otherwise the
+// tracked default trajectory file — except in smoke mode, where reduced-size rows
+// must not overwrite trajectory data, so without an explicit override no sink is
+// opened (stdout only).
+inline void OpenDefaultBenchJsonSink(const std::string& default_path) {
+  if (const char* override_path = std::getenv("TVMCPP_BENCH_JSON")) {
+    OpenBenchJsonSink(override_path);
+    return;
+  }
+  if (BenchSmokeMode()) {
+    std::printf("smoke mode without TVMCPP_BENCH_JSON: JSON sink disabled\n");
+    return;
+  }
+  OpenBenchJsonSink(default_path);
 }
 
 // Prints one machine-readable result line, e.g.
 //   {"bench": "vm_speedup_conv2d", "interp_ms": 41.2, "vm_ms": 5.1, "speedup": 8.1}
-// to stdout and, when a sink is open, to the BENCH_*.json trajectory file.
+// to stdout and, when a sink is open, upserts it by bench name into the BENCH_*.json
+// trajectory file (rewritten and flushed per line, so partial runs still land).
 inline void PrintBenchJson(const std::string& bench,
                            const std::vector<std::pair<std::string, double>>& fields) {
-  auto emit = [&](std::FILE* out) {
-    std::fprintf(out, "{\"bench\": \"%s\"", bench.c_str());
-    for (const auto& kv : fields) {
-      std::fprintf(out, ", \"%s\": %.6g", kv.first.c_str(), kv.second);
+  std::string line = "{\"bench\": \"" + bench + "\"";
+  char buf[64];
+  for (const auto& kv : fields) {
+    std::snprintf(buf, sizeof(buf), "%.6g", kv.second);
+    line += ", \"" + kv.first + "\": " + buf;
+  }
+  line += "}";
+  std::printf("%s\n", line.c_str());
+  BenchJsonSink* sink = BenchJsonSinkSlot();
+  if (sink == nullptr) {
+    return;
+  }
+  UpsertBenchLine(&sink->lines, line);
+  // Merge-on-write: re-read the file and lay this process's lines over it, so
+  // rows this process never produced survive the rewrite.
+  std::vector<std::pair<std::string, std::string>> merged;
+  LoadBenchLines(sink->path, &merged);
+  for (const auto& kv : sink->lines) {
+    UpsertBenchLine(&merged, kv.second);
+  }
+  if (std::FILE* out = std::fopen(sink->path.c_str(), "w")) {
+    for (const auto& kv : merged) {
+      std::fprintf(out, "%s\n", kv.second.c_str());
     }
-    std::fprintf(out, "}\n");
-  };
-  emit(stdout);
-  if (std::FILE* sink = BenchJsonSinkSlot()) {
-    emit(sink);
-    std::fflush(sink);
+    std::fclose(out);
   }
 }
 

@@ -134,7 +134,9 @@ void CompiledGraph::Compile() {
     k.name = "fused_" + graph_.node(grp.nodes.back()).name;
     k.func = Lower(sch, args, k.name);
     if (GetExecEngine() == ExecEngine::kVm) {
-      k.program = vm::CompileToProgram(k.func);  // compiled once, reused by every Run()
+      // Compiled once, reused by every Run(); loop specialization per the model's
+      // (possibly inherited) CompileOptions rather than the process environment.
+      k.program = vm::CompileToProgram(k.func, options_.specialize);
     }
     k.input_nodes = externals;
     k.output_node = grp.nodes.back();

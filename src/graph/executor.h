@@ -35,6 +35,11 @@ struct CompileOptions {
   bool enable_fold = true;         // constant folding
   bool enable_layout = false;      // layout transformation (CPU)
   const TunedConfigs* tuned = nullptr;
+  // VM loop-specialization config used when compiling each fused kernel's bytecode
+  // program. Carried by value so Rebatched() variants inherit the base model's
+  // setting — batched rows get the same unroll/hoist treatment (notably the hoisted
+  // batch-offset adds) without re-reading the environment at batch-compile time.
+  LoopSpecializeOptions specialize = LoopSpecializeOptions::FromEnv();
 };
 
 class CompiledGraph;

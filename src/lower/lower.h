@@ -45,7 +45,44 @@ LoweredFunc Lower(const Schedule& sch, const std::vector<Tensor>& args,
                   const std::string& name);
 
 // Expands kUnrolled loops with constant extent <= max_extent into straight-line code.
+// (Implemented in src/lower/unroll.cc with the rest of the unrolling machinery.)
 Stmt UnrollLoops(const Stmt& s, int64_t max_extent = 16);
+
+// --- Loop specialization (src/lower/unroll.cc) -------------------------------------
+// Engine-side compile-time specialization applied by the VM compiler before bytecode
+// generation (see CompileToProgram): full unrolling of small fixed-extent innermost
+// loops with constant folding, and loop-invariant code motion of integer index
+// arithmetic into LetStmt bindings. The specialized body is bitwise-equivalent to the
+// original; the flags only trade compile time for execution speed.
+struct LoopSpecializeOptions {
+  // Fully unroll innermost serial/unrolled loops with constant extent <= this
+  // (TVMCPP_UNROLL_LIMIT; 0 disables unrolling).
+  int64_t unroll_limit = 8;
+  // Hoist loop-invariant integer subexpressions out of innermost loops.
+  bool hoist_invariants = true;
+  // Bytecode-level knobs consumed by the VM compiler (src/vm/vm.cc): strength
+  // reduction of affine loop-variable multiplies into per-iteration increments, and
+  // the peephole pass collapsing constant-operand arithmetic and dead register moves.
+  bool strength_reduce = true;
+  bool peephole = true;
+  // Reads TVMCPP_VM_SPECIALIZE (0 disables everything) and TVMCPP_UNROLL_LIMIT on
+  // every call, so tests can flip the knobs per case.
+  static LoopSpecializeOptions FromEnv();
+  static LoopSpecializeOptions Disabled();
+};
+
+// How often each IR-level specialization fired (exposed per-program through
+// vm::GetProgramStats so tests can assert the passes actually ran).
+struct LoopSpecializeStats {
+  int unrolled_loops = 0;
+  int hoisted_lets = 0;  // invariant bindings moved out of innermost loops
+  int csed_muls = 0;     // recurring loop-var multiplies bound once per iteration
+};
+
+// Runs the IR-level specialization pipeline: unroll-and-fold, then invariant
+// hoisting (in that order — a collapsed small nest exposes its parent as innermost).
+Stmt SpecializeLoops(const Stmt& s, const LoopSpecializeOptions& opts,
+                     LoopSpecializeStats* stats = nullptr);
 
 // Moves "shared"-scope allocations above the thread-binding loops (shared buffers are
 // per-block, not per-thread). Required for correct serial interpretation and mirrors

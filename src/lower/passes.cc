@@ -1,4 +1,6 @@
-// Post-lowering passes: loop unrolling and virtual-thread injection (Figure 8).
+// Post-lowering passes: virtual-thread injection (Figure 8), shared-allocation
+// hoisting, and thread-block serialization. Loop unrolling and the loop
+// specialization pipeline live in src/lower/unroll.cc.
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -13,34 +15,8 @@ namespace tvmcpp {
 
 namespace {
 
-class Unroller : public StmtMutator {
- public:
-  explicit Unroller(int64_t max_extent) : max_extent_(max_extent) {}
-
- protected:
-  Stmt MutateFor(const ForNode* op, const Stmt& s) override {
-    Stmt base = StmtMutator::MutateFor(op, s);
-    const auto* n = static_cast<const ForNode*>(base.get());
-    if (n->for_type != ForType::kUnrolled) {
-      return base;
-    }
-    int64_t extent, min_v;
-    if (!is_const_int(n->extent, &extent) || !is_const_int(n->min, &min_v) ||
-        extent > max_extent_) {
-      return base;
-    }
-    std::vector<Stmt> unrolled;
-    unrolled.reserve(static_cast<size_t>(extent));
-    for (int64_t i = 0; i < extent; ++i) {
-      VarMap vmap{{n->loop_var.get(), make_int(min_v + i)}};
-      unrolled.push_back(Simplify(Substitute(n->body, vmap)));
-    }
-    return seq(std::move(unrolled));
-  }
-
- private:
-  int64_t max_extent_;
-};
+// (Loop unrolling lives in src/lower/unroll.cc with the rest of the loop
+// specialization machinery.)
 
 // Adds `vt * chunk` to every access of `buffer` (used when a per-vthread buffer is
 // expanded to hold all vthread copies).
@@ -260,11 +236,6 @@ Stmt HoistSharedAllocations(const Stmt& s) {
     body = allocate(it->var, it->dtype, it->extents, it->scope, body);
   }
   return body;
-}
-
-Stmt UnrollLoops(const Stmt& s, int64_t max_extent) {
-  Unroller u(max_extent);
-  return u.MutateStmt(s);
 }
 
 Stmt InjectVirtualThreads(const Stmt& s) {

@@ -32,10 +32,15 @@ namespace vm {
 struct Program;  // defined in vm.cc; opaque to callers
 
 // Compiles `func` into bytecode. kVectorized loops are materialized first via
-// VectorizeLoop and execute as SIMD vector opcodes over a vector register file.
-// Returns nullptr when the body contains a construct the VM does not support (unknown
+// VectorizeLoop and execute as SIMD vector opcodes over a vector register file;
+// SpecializeLoops then unrolls/hoists per `spec` (src/lower/unroll.cc), and the
+// bytecode compiler applies strength reduction and the peephole pass. Returns
+// nullptr when the body contains a construct the VM does not support (unknown
 // intrinsics, ...); callers should then fall back to RunLoweredInterp.
+// The one-argument form uses LoopSpecializeOptions::FromEnv().
 std::shared_ptr<const Program> CompileToProgram(const LoweredFunc& func);
+std::shared_ptr<const Program> CompileToProgram(const LoweredFunc& func,
+                                                const LoopSpecializeOptions& spec);
 
 // --- fallback diagnostics ---------------------------------------------------------
 // Every silent engine downgrade (VM compile failure -> interpreter) is counted, and
@@ -80,6 +85,26 @@ bool ProgramHasParallel(const Program& program);
 // True when the program contains SIMD vector opcodes (a vectorized schedule actually
 // compiled to the vector execution path instead of running scalar).
 bool ProgramHasVector(const Program& program);
+
+// Static opcode statistics plus how often each specialization fired during
+// compilation. Tests assert on these to pin that the passes actually run (e.g. a
+// fully-unrolled kernel has zero jumps); benches report them alongside wall-clock.
+struct ProgramStats {
+  int num_instructions = 0;
+  int num_registers = 0;
+  int jumps = 0;      // kJmp + kJmpIfZero + kJmpGeI
+  int int_muls = 0;   // kMulI
+  int movs = 0;       // kMov
+  int loads = 0;      // scalar + vector loads
+  int stores = 0;     // scalar + vector stores
+  // Specialization effect counters:
+  int unrolled_loops = 0;      // IR loops fully unrolled (SpecializeLoops)
+  int hoisted_lets = 0;        // invariant LetStmt bindings hoisted (SpecializeLoops)
+  int csed_muls = 0;           // recurring loop-var multiplies bound per iteration
+  int strength_reduced = 0;    // loop-var multiplies turned into increments
+  int peephole_removed = 0;    // instructions deleted by the peephole sweep
+};
+ProgramStats GetProgramStats(const Program& program);
 
 }  // namespace vm
 }  // namespace tvmcpp

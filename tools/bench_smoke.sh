@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# bench-smoke gate: scans bench JSON-lines files for speedup fields and fails when
+# any falls below the floor (default 1.0).
+#
+# This is a *sanity* gate, not a perf gate: CI runners are shared and noisy, so the
+# only claim enforced is "the optimized path is not slower than the baseline it
+# replaced". Benches run in reduced-size mode (TVMCPP_BENCH_SMOKE=1) so the whole
+# step takes seconds. Checked fields are any JSON key containing "speedup"
+# (vm_speedup's `speedup`, the vectorize rows' `vec_speedup`, bench_specialize's
+# `spec_speedup`). Thread-scaling ratios (`scaling_4t`) never match the key
+# pattern, and the serving benches (whose speedups depend on core count) are not
+# part of the smoke run.
+#
+# Usage: bench_smoke.sh BENCH_JSON_FILE... [--floor X]
+set -u
+
+floor="1.0"
+files=()
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --floor) floor="$2"; shift 2 ;;
+    *) files+=("$1"); shift ;;
+  esac
+done
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "usage: bench_smoke.sh BENCH_JSON_FILE... [--floor X]"
+  exit 2
+fi
+
+fail=0
+checked=0
+for f in "${files[@]}"; do
+  if [ ! -f "$f" ]; then
+    echo "bench-smoke: missing $f"
+    fail=1
+    continue
+  fi
+  while IFS= read -r line; do
+    bench="$(printf '%s' "$line" | grep -oE '"bench": "[^"]+"' | head -1 | sed 's/.*: "//; s/"//')"
+    # Every key containing "speedup" in this line, with its value.
+    while IFS= read -r kv; do
+      [ -z "$kv" ] && continue
+      key="$(printf '%s' "$kv" | sed 's/"\([^"]*\)".*/\1/')"
+      val="$(printf '%s' "$kv" | sed 's/.*: *//')"
+      checked=$((checked + 1))
+      if ! awk -v v="$val" -v m="$floor" 'BEGIN { exit !(v + 0 >= m + 0) }'; then
+        echo "bench-smoke: $bench $key = $val < $floor ($f)"
+        fail=1
+      fi
+    done <<EOF_KV
+$(printf '%s' "$line" | grep -oE '"[A-Za-z0-9_]*speedup[A-Za-z0-9_]*": *[0-9.eE+-]+')
+EOF_KV
+  done < "$f"
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "bench-smoke: no speedup fields found in ${files[*]}"
+  exit 1
+fi
+if [ "$fail" -eq 0 ]; then
+  echo "bench-smoke: $checked speedup fields >= $floor"
+fi
+exit "$fail"

@@ -43,19 +43,27 @@ done
 # string literal — getenv call sites pass the name as a literal, possibly through a
 # helper like EnvInt) must have a row in the docs table, and every documented row
 # must still have a referencing call site. TVMCPP_SOURCE_DIR is a compile-time
-# macro, not an env var, and appears unquoted — the quoted-literal grep skips it.
+# macro, not an env var, and appears unquoted — the quoted-literal grep skips it
+# and the script scan filters it explicitly.
 code_vars="$(grep -rhoE '"TVMCPP_[A-Z0-9_]+"' "$root/src" "$root/bench" 2>/dev/null \
              | tr -d '"' | sort -u)"
+# Vars set or referenced by CI and the tools scripts (unquoted there: workflow env
+# blocks, shell assignments) must be documented too — a knob the pipeline flips is
+# part of the contract. This script is excluded (its grep patterns mention the
+# TVMCPP_ prefix without naming real variables).
+ci_vars="$(find "$root/tools" "$root/.github" -type f ! -name "$(basename "$0")" 2>/dev/null \
+           -exec grep -hoE 'TVMCPP_[A-Z0-9_]+' {} + | grep -v '^TVMCPP_SOURCE_DIR$' | sort -u)"
+all_vars="$(printf '%s\n%s\n' "$code_vars" "$ci_vars" | grep -v '^$' | sort -u)"
 doc_vars="$(grep -oE '^\| `TVMCPP_[A-Z0-9_]+`' "$doc" | grep -oE 'TVMCPP_[A-Z0-9_]+' | sort -u)"
-for var in $code_vars; do
+for var in $all_vars; do
   if ! printf '%s\n' "$doc_vars" | grep -qx "$var"; then
-    echo "docs-check: env var $var is read in src/ or bench/ but missing from the env-var table in docs/ARCHITECTURE.md"
+    echo "docs-check: env var $var is referenced in src/, bench/, tools/, or .github/ but missing from the env-var table in docs/ARCHITECTURE.md"
     fail=1
   fi
 done
 for var in $doc_vars; do
-  if ! printf '%s\n' "$code_vars" | grep -qx "$var"; then
-    echo "docs-check: docs/ARCHITECTURE.md documents env var $var which no code in src/ or bench/ references"
+  if ! printf '%s\n' "$all_vars" | grep -qx "$var"; then
+    echo "docs-check: docs/ARCHITECTURE.md documents env var $var which no code in src/, bench/, tools/, or .github/ references"
     fail=1
   fi
 done
