@@ -13,16 +13,27 @@
 // batch-offset index add (a native backend would hoist it; see ROADMAP loop
 // specialization), so those numbers are not repeated here.
 //
+// A final open-loop sweep (serve_openloop_2x) offers Poisson arrivals at 2x the
+// measured closed-loop capacity with a mixed request population — 20% interactive
+// (high priority, tight deadline) and 80% batch (low priority, loose deadline) —
+// and reports per-class latency percentiles and shed/deadline-miss counts. The
+// SLA claim under test: priority scheduling + admission control keep the
+// interactive p99 inside its deadline while the overload is absorbed by shedding
+// the batch class, instead of every request timing out FIFO-style.
+//
 // Emits JSON lines via PrintBenchJson to stdout and BENCH_serve.json at the repo root
 // (TVMCPP_BENCH_JSON overrides the path). Request-level speedup needs multiple cores;
 // on a single-core host the depth-16 speedup degenerates toward 1x (reported as-is).
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -32,6 +43,7 @@
 #include "src/runtime/ndarray.h"
 #include "src/runtime/target.h"
 #include "src/serve/serve.h"
+#include "src/support/random.h"
 
 namespace tvmcpp {
 namespace {
@@ -177,8 +189,10 @@ int main() {
                          {"p99_ms", base.p99_ms}});
 
   serve::InferenceServer server{serve::ServerOptions{}};
+  double capacity_req_per_s = 0;
   for (int depth : {1, 4, 16}) {
     RunResult r = RunServed(&server, model, inputs, depth);
+    capacity_req_per_s = std::max(capacity_req_per_s, r.req_per_s);
     bench::PrintBenchJson(
         "serve_depth_" + std::to_string(depth),
         {{"requests", kRequests},
@@ -252,5 +266,96 @@ int main() {
         static_cast<double>(bstats.full_batches - warm.full_batches)},
        {"timeout_batches",
         static_cast<double>(bstats.timeout_batches - warm.timeout_batches)}});
+
+  // Open-loop Poisson overload: offer 2x the measured closed-loop capacity on
+  // the conv model, 20% interactive (priority 10, tight deadline) / 80% batch
+  // (priority 0, loose deadline). Unlike the closed-loop clients above, arrivals
+  // do not wait for completions, so the server must actively shed to keep the
+  // interactive class inside its SLA. max_batch=1 keeps the row interpretable:
+  // the mechanisms under test are priority pop order, deadline sweep, and
+  // admission control, not batch amortization.
+  {
+    serve::ServerOptions sla_opts;
+    sla_opts.max_batch = 1;
+    sla_opts.queue_capacity = 256;  // large enough that Submit never blocks
+    sla_opts.enable_shedding = 1;
+    serve::InferenceServer sla_server{sla_opts};
+    // Per-worker service time estimate from measured capacity; deadlines are
+    // multiples of it so the row stays meaningful across host speeds.
+    double svc_est_ms =
+        1e3 * static_cast<double>(sla_server.num_workers()) / capacity_req_per_s;
+    const double interactive_deadline_ms = 6.0 * svc_est_ms;
+    const double batch_deadline_ms = 12.0 * svc_est_ms;
+    const double lambda_per_s = 2.0 * capacity_req_per_s;
+    const int kOpen = bench::BenchSmokeMode() ? 60 : 240;
+    // Untimed closed-loop warm-up: admission control sheds only once its
+    // service-time EWMA is primed.
+    RunServed(&sla_server, model, inputs, 4);
+
+    Rng gen(0x0A21);
+    std::vector<std::future<serve::InferenceResponse>> inflight;
+    inflight.reserve(static_cast<size_t>(kOpen));
+    std::vector<bool> is_interactive(static_cast<size_t>(kOpen));
+    auto start = std::chrono::steady_clock::now();
+    double next_arrival_s = 0;
+    for (int i = 0; i < kOpen; ++i) {
+      next_arrival_s += -std::log(1.0 - gen.UniformReal()) / lambda_per_s;
+      std::this_thread::sleep_until(
+          start + std::chrono::duration<double>(next_arrival_s));
+      bool interactive = (i % 5) == 0;  // exactly 20%
+      is_interactive[static_cast<size_t>(i)] = interactive;
+      serve::InferenceRequest req;
+      req.inputs["data"] = inputs[static_cast<size_t>(i) % inputs.size()];
+      req.priority = interactive ? 10 : 0;
+      req.deadline_ms = interactive ? interactive_deadline_ms : batch_deadline_ms;
+      inflight.push_back(sla_server.Submit(model, std::move(req)));
+    }
+    struct ClassAgg {
+      std::vector<double> ok_lat_ms;
+      double ok = 0, shed = 0, missed = 0, other = 0;
+    };
+    ClassAgg agg[2];  // [0]=batch, [1]=interactive
+    for (int i = 0; i < kOpen; ++i) {
+      serve::InferenceResponse resp = inflight[static_cast<size_t>(i)].get();
+      ClassAgg& a = agg[is_interactive[static_cast<size_t>(i)] ? 1 : 0];
+      switch (resp.status.code) {
+        case serve::StatusCode::kOk:
+          a.ok += 1;
+          a.ok_lat_ms.push_back(resp.queue_ms + resp.run_ms);
+          break;
+        case serve::StatusCode::kShed:
+          a.shed += 1;
+          break;
+        case serve::StatusCode::kDeadlineExceeded:
+          a.missed += 1;
+          break;
+        default:
+          a.other += 1;
+          break;
+      }
+    }
+    double interactive_p99 = Percentile(agg[1].ok_lat_ms, 0.99);
+    bench::PrintBenchJson(
+        "serve_openloop_2x",
+        {{"requests", kOpen},
+         {"workers", sla_server.num_workers()},
+         {"capacity_req_per_s", capacity_req_per_s},
+         {"offered_req_per_s", lambda_per_s},
+         {"interactive_deadline_ms", interactive_deadline_ms},
+         {"interactive_ok", agg[1].ok},
+         {"interactive_shed", agg[1].shed},
+         {"interactive_deadline_missed", agg[1].missed},
+         {"interactive_p50_ms", Percentile(agg[1].ok_lat_ms, 0.50)},
+         {"interactive_p99_ms", interactive_p99},
+         {"interactive_p99_within_deadline",
+          interactive_p99 <= interactive_deadline_ms ? 1.0 : 0.0},
+         {"batch_deadline_ms", batch_deadline_ms},
+         {"batch_ok", agg[0].ok},
+         {"batch_shed", agg[0].shed},
+         {"batch_deadline_missed", agg[0].missed},
+         {"batch_p50_ms", Percentile(agg[0].ok_lat_ms, 0.50)},
+         {"batch_p99_ms", Percentile(agg[0].ok_lat_ms, 0.99)},
+         {"other_failures", agg[0].other + agg[1].other}});
+  }
   return 0;
 }

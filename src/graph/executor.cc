@@ -220,6 +220,13 @@ void CompiledGraph::Run(RunContext* ctx, const vm::ExecOptions& exec) const {
       bindings.push_back(buffer_of(id).Binding());
     }
     bindings.push_back(buffer_of(k.output_node).Binding());
+    if (exec.force_interp) {
+      // Explicit down-tier (the serving layer's fault-fallback ladder): run the
+      // reference interpreter deliberately. Not a silent downgrade, so it is not
+      // counted by FallbackCount and does not trip TVMCPP_VM_STRICT.
+      RunLoweredInterp(k.func, bindings);
+      continue;
+    }
     if (k.program != nullptr && GetExecEngine() == ExecEngine::kVm) {
       vm::Run(*k.program, bindings, exec);
     } else {

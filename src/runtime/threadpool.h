@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/support/failpoint.h"
+
 namespace tvmcpp {
 
 class ThreadPool {
@@ -74,6 +76,10 @@ class ThreadPool {
       job = std::move(nested_.front());
       nested_.pop();
     }
+    // Non-throwing evaluation: a dispatched job must run no matter what — an
+    // injected error here would strand the job's future forever. Delays simulate
+    // a stuck/slow worker.
+    FAILPOINT_SAFE("pool.dispatch");
     job();
     return true;
   }
@@ -111,6 +117,7 @@ class ThreadPool {
         job = std::move(q.front());
         q.pop();
       }
+      FAILPOINT_SAFE("pool.dispatch");  // see TryRunOne: delay-only by design
       job();
     }
   }

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/support/failpoint.h"
 #include "src/support/logging.h"
 
 namespace tvmcpp {
@@ -18,6 +19,11 @@ std::shared_ptr<const graph::CompiledGraph> BatchedModelCache::Get(int factor) {
   if (it != by_factor_.end()) {
     return it->second;
   }
+  // Evaluated only on a cache miss: once a variant is compiled and cached, it can
+  // never re-fault, mirroring real compile failures (deterministic per variant).
+  // Nothing is cached when this (or the builder below) throws, so the serving
+  // layer's degrade-to-per-request path retries compilation on the next batch.
+  FAILPOINT("serve.batch_compile");
   std::shared_ptr<const graph::CompiledGraph> batched =
       builder_ != nullptr ? builder_(factor) : base_->Rebatched(factor);
   CHECK(batched != nullptr) << "batch builder returned null for factor " << factor;

@@ -3,21 +3,37 @@
 // toward clients instead of unbounded memory growth); Close() wakes everyone, fails
 // subsequent pushes, and lets pops drain what was already accepted.
 //
+// Ordering: entries live in a binary heap. An optional `before` comparator makes
+// Pop/TryPop return the highest-priority entry (the serving layer orders by request
+// class, then deadline); ties — and the entire queue when no comparator is given —
+// fall back to push sequence, so the default behavior is exactly FIFO and the heap
+// degenerates to a FIFO queue. The heap is maintained by std::push_heap/pop_heap
+// (O(log n) per operation) with a full make_heap after bulk removal.
+//
 // Two extensions support dynamic batching (src/serve/serve.cc): DrainMatching
 // extracts every entry matching a predicate (coalescing same-model requests without
-// disturbing the FIFO order of the rest), and push_seq()/WaitPush let a worker
+// disturbing the pop order of the rest), and push_seq()/WaitPush let a worker
 // linger for new arrivals without polling.
+//
+// Fail-points: "serve.queue_push" and "serve.queue_drain" are evaluated at the
+// mutation seams in non-throwing mode (an injected delay widens the race windows
+// the MPMC tests stress; an error must not fire inside the queue, where it would
+// strand an entry — the serving layer evaluates the same points in throwing mode
+// where its typed-error path can absorb them).
 #ifndef SRC_SERVE_QUEUE_H_
 #define SRC_SERVE_QUEUE_H_
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <functional>
 #include <mutex>
 #include <utility>
 #include <vector>
+
+#include "src/support/failpoint.h"
 
 namespace tvmcpp {
 namespace serve {
@@ -25,19 +41,26 @@ namespace serve {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+  // Strict priority order: before(a, b) == true means a must pop before b. May be
+  // null (pure FIFO). Entries neither before nor after each other pop in push order.
+  using Before = std::function<bool(const T&, const T&)>;
+
+  explicit BoundedQueue(size_t capacity, Before before = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity), before_(std::move(before)) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   // Blocks while full. Returns false (dropping `item`) when the queue was closed.
   bool Push(T item) {
+    FAILPOINT_SAFE("serve.queue_push");
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
     if (closed_) {
       return false;
     }
-    items_.push_back(std::move(item));
+    items_.push_back(Entry{push_seq_, std::move(item)});
+    std::push_heap(items_.begin(), items_.end(), HeapComp());
     ++push_seq_;
     lock.unlock();
     // notify_all (not _one): a push must wake both a blocked Pop consumer and any
@@ -46,15 +69,16 @@ class BoundedQueue {
     return true;
   }
 
-  // Blocks while empty. Returns false only when the queue is closed AND drained.
+  // Blocks while empty; returns the highest-priority entry. Returns false only
+  // when the queue is closed AND drained.
   bool Pop(T* out) {
+    FAILPOINT_SAFE("serve.queue_drain");
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) {
       return false;
     }
-    *out = std::move(items_.front());
-    items_.pop_front();
+    PopTopLocked(out);
     lock.unlock();
     not_full_.notify_one();
     return true;
@@ -63,39 +87,73 @@ class BoundedQueue {
   // Non-blocking pop for drain loops. Same contract as Pop, but returns false
   // immediately when the queue is currently empty (closed or not).
   bool TryPop(T* out) {
+    FAILPOINT_SAFE("serve.queue_drain");
     std::unique_lock<std::mutex> lock(mu_);
     if (items_.empty()) {
       return false;
     }
-    *out = std::move(items_.front());
-    items_.pop_front();
+    PopTopLocked(out);
     lock.unlock();
     not_full_.notify_one();
     return true;
   }
 
-  // Scans the queue front-to-back and moves every entry for which `pred` returns
-  // true into `out`, up to `max_items` total; non-matching entries keep their
-  // relative FIFO order. Returns the number of entries taken. Used by the batching
-  // scheduler to coalesce same-model/same-shape requests from anywhere in the queue.
+  // Moves every entry for which `pred` returns true into `out`, up to `max_items`
+  // total, taking matches in pop (priority) order; non-matching entries keep their
+  // pop order. Returns the number of entries taken. Used by the batching scheduler
+  // to coalesce same-model/same-shape requests from anywhere in the queue.
   template <typename Pred>
   size_t DrainMatching(Pred pred, size_t max_items, std::vector<T>* out) {
+    FAILPOINT_SAFE("serve.queue_drain");
     std::unique_lock<std::mutex> lock(mu_);
-    size_t taken = 0;
-    for (auto it = items_.begin(); it != items_.end() && taken < max_items;) {
-      if (pred(*it)) {
-        out->push_back(std::move(*it));
-        it = items_.erase(it);
-        ++taken;
-      } else {
-        ++it;
+    // Collect matching positions, order them by pop priority, take the first
+    // max_items. The heap array is scanned in storage order; priority order is
+    // recovered by sorting just the matches.
+    std::vector<size_t> matches;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (pred(items_[i].item)) {
+        matches.push_back(i);
       }
     }
-    if (taken > 0) {
+    auto better = [this](size_t a, size_t b) {
+      return Better(items_[a], items_[b]);
+    };
+    if (matches.size() > max_items) {
+      std::partial_sort(matches.begin(), matches.begin() + max_items,
+                        matches.end(), better);
+      matches.resize(max_items);
+    } else {
+      std::sort(matches.begin(), matches.end(), better);
+    }
+    for (size_t i : matches) {
+      out->push_back(std::move(items_[i].item));
+    }
+    if (!matches.empty()) {
+      // Compact the holes (descending index so erasures do not shift later ones),
+      // then rebuild the heap over the survivors.
+      std::sort(matches.begin(), matches.end());
+      for (size_t k = matches.size(); k > 0; --k) {
+        items_.erase(items_.begin() + static_cast<ptrdiff_t>(matches[k - 1]));
+      }
+      std::make_heap(items_.begin(), items_.end(), HeapComp());
       lock.unlock();
       not_full_.notify_all();
     }
-    return taken;
+    return matches.size();
+  }
+
+  // Number of queued entries for which `pred` returns true (e.g. the backlog at or
+  // above a priority class, for admission-control wait estimates).
+  template <typename Pred>
+  size_t CountIf(Pred pred) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const Entry& e : items_) {
+      if (pred(e.item)) {
+        ++n;
+      }
+    }
+    return n;
   }
 
   // Monotone counter bumped by every successful Push. Snapshot it before a
@@ -137,11 +195,43 @@ class BoundedQueue {
   }
 
  private:
+  struct Entry {
+    uint64_t seq;
+    T item;
+  };
+
+  // True when a must pop before b: comparator first, push order as tiebreak (and
+  // as the whole order when no comparator is set — global FIFO).
+  bool Better(const Entry& a, const Entry& b) const {
+    if (before_) {
+      if (before_(a.item, b.item)) {
+        return true;
+      }
+      if (before_(b.item, a.item)) {
+        return false;
+      }
+    }
+    return a.seq < b.seq;
+  }
+
+  // std::push_heap keeps the element for which comp(x, top) holds for all x on
+  // top, i.e. comp(a, b) == "b outranks a".
+  auto HeapComp() const {
+    return [this](const Entry& a, const Entry& b) { return Better(b, a); };
+  }
+
+  void PopTopLocked(T* out) {
+    std::pop_heap(items_.begin(), items_.end(), HeapComp());
+    *out = std::move(items_.back().item);
+    items_.pop_back();
+  }
+
   const size_t capacity_;
+  const Before before_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<T> items_;
+  std::vector<Entry> items_;  // binary heap per HeapComp()
   uint64_t push_seq_ = 0;
   bool closed_ = false;
 };

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "src/support/failpoint.h"
 #include "src/support/logging.h"
 
 namespace tvmcpp {
@@ -13,9 +13,17 @@ namespace serve {
 
 namespace {
 
-double MsBetween(std::chrono::steady_clock::time_point a,
-                 std::chrono::steady_clock::time_point b) {
+using Clock = std::chrono::steady_clock;
+
+constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+double MsBetween(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+Clock::duration MsDuration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
 }
 
 int EnvInt(const char* name) {
@@ -26,6 +34,34 @@ int EnvInt(const char* name) {
     }
   }
   return 0;
+}
+
+// For counts where 0 is a meaningful setting (e.g. max_retries).
+int EnvIntOr(const char* name, int fallback) {
+  if (const char* s = std::getenv(name)) {
+    int v = std::atoi(s);
+    if (v >= 0) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+double EnvDoubleOr(const char* name, double fallback) {
+  if (const char* s = std::getenv(name)) {
+    double v = std::atof(s);
+    if (v >= 0) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+bool EnvFlagOr(const char* name, bool fallback) {
+  if (const char* s = std::getenv(name)) {
+    return std::atoi(s) != 0;
+  }
+  return fallback;
 }
 
 int ResolveWorkers(int requested) {
@@ -58,23 +94,65 @@ double ResolveBatchTimeoutMs(double requested) {
   if (requested >= 0) {
     return requested;
   }
-  if (const char* s = std::getenv("TVMCPP_SERVE_BATCH_TIMEOUT_MS")) {
-    double v = std::atof(s);
-    if (v >= 0) {
-      return v;
-    }
-  }
-  return 0;
+  return EnvDoubleOr("TVMCPP_SERVE_BATCH_TIMEOUT_MS", 0);
 }
 
 }  // namespace
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kRejected:
+      return "rejected";
+    case StatusCode::kShed:
+      return "shed";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kQueueFault:
+      return "queue_fault";
+    case StatusCode::kCompileFailed:
+      return "compile_failed";
+    case StatusCode::kExecutionFailed:
+      return "execution_failed";
+  }
+  return "unknown";
+}
 
 InferenceServer::InferenceServer(ServerOptions options)
     : workers_(ResolveWorkers(options.num_workers)),
       max_batch_(ResolveMaxBatch(options.max_batch)),
       batch_timeout_ms_(ResolveBatchTimeoutMs(options.batch_timeout_ms)),
+      default_deadline_ms_(options.default_deadline_ms >= 0
+                               ? options.default_deadline_ms
+                               : EnvDoubleOr("TVMCPP_SERVE_DEADLINE_MS", 0)),
+      max_retries_(options.max_retries >= 0
+                       ? options.max_retries
+                       : EnvIntOr("TVMCPP_SERVE_MAX_RETRIES", 1)),
+      retry_backoff_ms_(options.retry_backoff_ms >= 0
+                            ? options.retry_backoff_ms
+                            : EnvDoubleOr("TVMCPP_SERVE_RETRY_BACKOFF_MS", 0.5)),
+      fallback_enabled_(options.enable_fallback >= 0
+                            ? options.enable_fallback != 0
+                            : EnvFlagOr("TVMCPP_SERVE_FALLBACK", true)),
+      shedding_enabled_(options.enable_shedding >= 0
+                            ? options.enable_shedding != 0
+                            : EnvFlagOr("TVMCPP_SERVE_SHED", true)),
+      adaptive_linger_(options.adaptive_linger >= 0
+                           ? options.adaptive_linger != 0
+                           : EnvFlagOr("TVMCPP_SERVE_ADAPTIVE_LINGER", false)),
+      // Pop order: higher priority class first, earlier deadline within a class,
+      // FIFO (push sequence, supplied by the queue) as the final tiebreak — which
+      // also makes deadline-less same-priority traffic behave exactly as before
+      // this ordering existed.
       queue_(static_cast<size_t>(options.queue_capacity > 0 ? options.queue_capacity
-                                                            : 64)),
+                                                            : 64),
+             [](const Pending& a, const Pending& b) {
+               if (a.priority != b.priority) {
+                 return a.priority > b.priority;
+               }
+               return a.deadline < b.deadline;
+             }),
       pool_(std::make_unique<ThreadPool>(workers_)) {}
 
 InferenceServer::~InferenceServer() {
@@ -100,23 +178,109 @@ std::future<InferenceResponse> InferenceServer::Submit(
       s->drained_.notify_all();
     }
   } guard{this};
+
+  const Clock::time_point now = Clock::now();
   Pending p;
   p.model = std::move(model);
-  p.request = std::move(request);
   p.promise = std::make_shared<std::promise<InferenceResponse>>();
-  p.enqueued = std::chrono::steady_clock::now();
+  p.enqueued = now;
+  p.priority = request.priority;
+  const double deadline_ms =
+      request.deadline_ms < 0 ? default_deadline_ms_ : request.deadline_ms;
+  p.deadline = deadline_ms > 0 ? now + MsDuration(deadline_ms) : kNoDeadline;
+  p.seq = submit_seq_.fetch_add(1, std::memory_order_relaxed);
+  p.request = std::move(request);
+  const int priority = p.priority;
   std::future<InferenceResponse> result = p.promise->get_future();
+  std::shared_ptr<std::promise<InferenceResponse>> promise = p.promise;
+
+  // Arrival-rate EWMA (feeds the adaptive batching linger) and the service-time
+  // estimate used by admission control, in one lock hold.
+  double svc_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (have_arrival_) {
+      const double gap = MsBetween(last_arrival_, now);
+      ewma_arrival_gap_ms_ = ewma_arrival_gap_ms_ <= 0
+                                 ? gap
+                                 : 0.2 * gap + 0.8 * ewma_arrival_gap_ms_;
+    }
+    have_arrival_ = true;
+    last_arrival_ = now;
+    svc_ms = ewma_service_ms_;
+  }
+
+  // Admission control: a request whose estimated queue wait already exceeds its
+  // deadline would only waste a worker slot to report kDeadlineExceeded later —
+  // shed it now instead, cheaply, so the capacity serves requests that can still
+  // make their SLA. The estimate is conservative-simple: entries that would pop
+  // before this one (higher class, or earlier deadline within the class) plus
+  // requests already inside executions, each costing the EWMA service time,
+  // spread over the worker count.
+  if (shedding_enabled_ && p.deadline != kNoDeadline && svc_ms > 0) {
+    const Clock::time_point dl = p.deadline;
+    const size_t ahead = queue_.CountIf([priority, dl](const Pending& q) {
+      return q.priority > priority ||
+             (q.priority == priority && q.deadline <= dl);
+    });
+    const double backlog =
+        static_cast<double>(ahead) +
+        static_cast<double>(active_requests_.load(std::memory_order_relaxed));
+    const double est_wait_ms = backlog * svc_ms / static_cast<double>(workers_);
+    if (est_wait_ms > deadline_ms) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.shed;
+        ++stats_.failed;
+        ++stats_.per_class[priority].shed;
+      }
+      InferenceResponse r;
+      r.status = {StatusCode::kShed,
+                  "shed at admission: estimated queue wait " +
+                      std::to_string(est_wait_ms) + " ms exceeds deadline " +
+                      std::to_string(deadline_ms) + " ms"};
+      promise->set_value(std::move(r));
+      return result;
+    }
+  }
+
+  // Queue-admission fault seam. Throwing evaluation happens here — not inside
+  // BoundedQueue::Push, whose callers include raw producer threads with no error
+  // path — so an injected fault surfaces as a typed per-request error.
+  try {
+    failpoint::ScopedRequestSeed seed(p.seq * 257 + 254);
+    FAILPOINT("serve.queue_push");
+  } catch (const failpoint::InjectedFault& e) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.failed;
+    }
+    InferenceResponse r;
+    r.status = {StatusCode::kQueueFault, e.what()};
+    promise->set_value(std::move(r));
+    return result;
+  }
 
   // Count the request as accepted *before* the push so Shutdown's drain predicate
-  // (completed == accepted) can never observe a queued request it is not waiting for.
+  // (delivered == accepted) can never observe a queued request it is not waiting
+  // for.
   accepted_.fetch_add(1, std::memory_order_relaxed);
-  std::shared_ptr<std::promise<InferenceResponse>> promise = p.promise;
   if (!queue_.Push(std::move(p))) {
     accepted_.fetch_sub(1, std::memory_order_relaxed);
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    promise->set_exception(std::make_exception_ptr(
-        std::runtime_error("InferenceServer is shut down")));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected;
+      ++stats_.failed;
+    }
+    InferenceResponse r;
+    r.status = {StatusCode::kRejected, "InferenceServer is shut down"};
+    promise->set_value(std::move(r));
     return result;  // the SubmitGuard notifies any Shutdown waiter
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.accepted;
+    ++stats_.per_class[priority].accepted;
   }
   // One pool job per accepted request: the job pops exactly one entry, so every
   // accepted request is matched by a job and the pop below can never block.
@@ -168,10 +332,34 @@ std::vector<InferenceServer::Pending> InferenceServer::FormBatch(Pending head) {
            ShapesCoalesce(batch.front().request.inputs, p.request.inputs);
   };
   const size_t max = static_cast<size_t>(max_batch_);
-  const std::chrono::steady_clock::time_point deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double, std::milli>(batch_timeout_ms_));
+
+  double linger_ms = batch_timeout_ms_;
+  double svc_ms = 0;
+  double gap_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    svc_ms = ewma_service_ms_;
+    gap_ms = ewma_arrival_gap_ms_;
+  }
+  if (adaptive_linger_ && gap_ms > 0) {
+    // No point lingering longer than the observed arrival rate needs to deliver
+    // the missing batch slots; under light traffic this collapses the linger
+    // toward zero instead of stalling a worker for the full timeout.
+    linger_ms = std::min(linger_ms,
+                         gap_ms * static_cast<double>(max - batch.size()));
+  }
+  const Clock::time_point now = Clock::now();
+  Clock::time_point deadline = now + MsDuration(linger_ms);
+  if (batch.front().deadline != kNoDeadline) {
+    // Leave the head enough budget to actually execute: flush early when
+    // lingering to the full timeout would spend its deadline.
+    const Clock::time_point cap = batch.front().deadline - MsDuration(svc_ms);
+    if (cap < deadline) {
+      deadline = std::max(now, cap);
+    }
+  }
+
+  bool full = false;
   for (;;) {
     // Snapshot the push counter *before* scanning so an arrival racing with the
     // scan makes the WaitPush below return immediately instead of being missed.
@@ -184,19 +372,95 @@ std::vector<InferenceServer::Pending> InferenceServer::FormBatch(Pending head) {
       active_requests_.fetch_add(static_cast<int>(taken), std::memory_order_relaxed);
     }
     if (batch.size() >= max) {
-      full_batches_.fetch_add(1, std::memory_order_relaxed);
+      full = true;
       break;
     }
-    if (queue_.closed() || std::chrono::steady_clock::now() >= deadline) {
-      timeout_batches_.fetch_add(1, std::memory_order_relaxed);
+    if (queue_.closed() || Clock::now() >= deadline) {
       break;
     }
     queue_.WaitPush(seen, deadline);  // wakes on push, close, or deadline
   }
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  batched_requests_.fetch_add(static_cast<int64_t>(batch.size()),
-                              std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.batches;
+    stats_.batched_requests += static_cast<int64_t>(batch.size());
+    if (full) {
+      ++stats_.full_batches;
+    } else {
+      ++stats_.timeout_batches;
+    }
+  }
   return batch;
+}
+
+InferenceResponse InferenceServer::RunOneWithRetry(const Pending& p,
+                                                   const vm::ExecOptions& exec) {
+  InferenceResponse resp;
+  std::string last_error;
+  // Attempts [0, vm_attempts) run the configured engine; the final attempt (when
+  // fallback is enabled) down-tiers to the reference interpreter, whose result is
+  // bitwise-identical to the VM's by the differential guarantee, so a fallback
+  // success is indistinguishable from a healthy run apart from the flag.
+  const int vm_attempts = 1 + std::max(0, max_retries_);
+  const int total_attempts = vm_attempts + (fallback_enabled_ ? 1 : 0);
+  for (int attempt = 0; attempt < total_attempts; ++attempt) {
+    if (Clock::now() >= p.deadline) {
+      resp.status = {StatusCode::kDeadlineExceeded,
+                     "deadline expired during retries; last error: " + last_error};
+      return resp;
+    }
+    if (attempt > 0) {
+      ++resp.retries;
+    }
+    const bool fallback = attempt >= vm_attempts;
+    vm::ExecOptions attempt_exec = exec;
+    attempt_exec.force_interp = fallback;
+    // Deterministic fault stream per (request, attempt): the same seed and
+    // armed spec reproduce the same faults, and a retry draws a fresh stream
+    // instead of deterministically re-hitting a probabilistic fault.
+    failpoint::ScopedRequestSeed seed(p.seq * 257 +
+                                      static_cast<uint64_t>(attempt));
+    try {
+      if (!fallback) {
+        // Serving-layer execution fault seam (the VM has its own "vm.run" point).
+        // Not evaluated on the fallback attempt: the down-tier exists to remove
+        // the faulty component, mirroring how force_interp bypasses vm::Run.
+        FAILPOINT("serve.run");
+      }
+      graph::RunContext ctx(p.model);
+      for (const auto& kv : p.request.inputs) {
+        ctx.SetInput(kv.first, kv.second);
+      }
+      p.model->Run(&ctx, attempt_exec);
+      const size_t num_outputs = p.model->graph().outputs.size();
+      resp.outputs.clear();
+      resp.outputs.reserve(num_outputs);
+      for (size_t i = 0; i < num_outputs; ++i) {
+        resp.outputs.push_back(ctx.GetOutput(static_cast<int>(i)));
+      }
+      resp.status = Status{};
+      resp.fell_back = fallback;
+      return resp;
+    } catch (const std::exception& e) {
+      // InjectedFault and InternalError (CHECK failures) both land here: real
+      // faults and injected ones take the same recovery path.
+      last_error = e.what();
+    }
+    if (attempt + 1 < vm_attempts && retry_backoff_ms_ > 0) {
+      const Clock::time_point wake =
+          Clock::now() + MsDuration(retry_backoff_ms_ *
+                                    static_cast<double>(int64_t{1} << attempt));
+      if (wake >= p.deadline) {
+        // Backing off would spend the deadline: skip the remaining same-engine
+        // retries and go straight to the fallback attempt (or fail).
+        attempt = vm_attempts - 1;
+        continue;
+      }
+      std::this_thread::sleep_until(wake);
+    }
+  }
+  resp.status = {StatusCode::kExecutionFailed, last_error};
+  return resp;
 }
 
 void InferenceServer::ExecuteOne() {
@@ -216,11 +480,25 @@ void InferenceServer::ExecuteOne() {
   } else {
     batch.push_back(std::move(head));  // batching disabled: the 1:1 legacy path
   }
-  const size_t batch_size = batch.size();
+  const size_t total = batch.size();
+  const Clock::time_point started = Clock::now();
 
-  int active = active_.fetch_add(1, std::memory_order_relaxed) + 1;
-  int active_requests = active_requests_.load(std::memory_order_relaxed);
-  std::chrono::steady_clock::time_point started = std::chrono::steady_clock::now();
+  // Deadline enforcement at pop: entries whose deadline already passed while
+  // queued are failed here instead of executed, so an overloaded server spends
+  // its cycles on requests whose answer someone still wants.
+  std::vector<Pending> live;
+  std::vector<Pending> expired;
+  live.reserve(total);
+  for (Pending& p : batch) {
+    if (started > p.deadline) {
+      expired.push_back(std::move(p));
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+
+  const int active = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int active_requests = active_requests_.load(std::memory_order_relaxed);
 
   // Two-level policy: whole-request parallelism is already saturating the pool when
   // the backlog (running + still-queued *requests* — a batch of B counts as B)
@@ -229,75 +507,137 @@ void InferenceServer::ExecuteOne() {
   // over the idle workers instead, so a lone request still uses all cores.
   vm::ExecOptions exec;
   exec.pool = pool_.get();
-  int backlog = static_cast<int>(queue_.size()) + active_requests;
-  if (backlog >= workers_) {
-    exec.num_threads = 1;
-    serial_runs_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    exec.num_threads = std::max(1, workers_ - active + 1);
-    chunked_runs_.fetch_add(1, std::memory_order_relaxed);
+  const int backlog = static_cast<int>(queue_.size()) + active_requests;
+  const bool serial = backlog >= workers_;
+  exec.num_threads = serial ? 1 : std::max(1, workers_ - active + 1);
+
+  std::vector<InferenceResponse> resps(live.size());
+  bool ran_batched = false;
+  bool compile_failed = false;
+  bool split = false;
+  if (live.size() > 1) {
+    // Coalesced batch: concat inputs along N, run the cached batched variant
+    // (compiled lazily on first use of this batch size), slice outputs back.
+    // Both steps can fault; neither failure mode may sink the whole batch:
+    //   compile fault -> degrade to per-request runs on the base model,
+    //   run fault     -> split into per-request retry ladders,
+    // so one poisoned cohabitant (or a flaky variant) never fails the rest.
+    std::shared_ptr<const graph::CompiledGraph> batched;
+    try {
+      failpoint::ScopedRequestSeed seed(live.front().seq * 257 + 255);
+      batched = CacheFor(live.front().model)->Get(static_cast<int>(live.size()));
+    } catch (const std::exception&) {
+      compile_failed = true;
+    }
+    if (batched != nullptr) {
+      try {
+        failpoint::ScopedRequestSeed seed(live.front().seq * 257 + 255);
+        FAILPOINT("serve.run");
+        graph::RunContext ctx(batched);
+        std::vector<const NamedTensors*> inputs;
+        inputs.reserve(live.size());
+        for (const Pending& p : live) {
+          inputs.push_back(&p.request.inputs);
+        }
+        BindConcatenatedInputs(inputs, &ctx);
+        batched->Run(&ctx, exec);
+        std::vector<std::vector<NDArray>> slices =
+            SliceBatchedOutputs(ctx, static_cast<int>(live.size()));
+        const Clock::time_point done = Clock::now();
+        for (size_t i = 0; i < live.size(); ++i) {
+          resps[i].outputs = std::move(slices[i]);
+          resps[i].run_ms = MsBetween(started, done);
+          resps[i].batch_size = static_cast<int>(live.size());
+        }
+        ran_batched = true;
+      } catch (const std::exception&) {
+        split = true;
+      }
+    }
+  }
+  if (!ran_batched) {
+    // Single request, degraded batch, or split batch: each request gets its own
+    // retry ladder, so they succeed and fail independently.
+    for (size_t i = 0; i < live.size(); ++i) {
+      const Clock::time_point t0 = Clock::now();
+      resps[i] = RunOneWithRetry(live[i], exec);
+      resps[i].run_ms = MsBetween(t0, Clock::now());
+      resps[i].batch_size = 1;
+    }
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    resps[i].queue_ms = MsBetween(live[i].enqueued, started);
   }
 
-  std::vector<InferenceResponse> resps(batch_size);
-  std::exception_ptr err;
-  try {
-    if (batch_size == 1) {
-      // Single request (or batch of one): run the base model directly.
-      const Pending& p = batch.front();
-      graph::RunContext ctx(p.model);
-      for (const auto& kv : p.request.inputs) {
-        ctx.SetInput(kv.first, kv.second);
-      }
-      p.model->Run(&ctx, exec);
-      size_t num_outputs = p.model->graph().outputs.size();
-      resps[0].outputs.reserve(num_outputs);
-      for (size_t i = 0; i < num_outputs; ++i) {
-        resps[0].outputs.push_back(ctx.GetOutput(static_cast<int>(i)));
-      }
-    } else {
-      // Coalesced batch: concat inputs along N, run the cached batched variant
-      // (compiled lazily on first use of this batch size), slice outputs back.
-      std::shared_ptr<const graph::CompiledGraph> batched =
-          CacheFor(batch.front().model)->Get(static_cast<int>(batch_size));
-      graph::RunContext ctx(batched);
-      std::vector<const NamedTensors*> inputs;
-      inputs.reserve(batch_size);
-      for (const Pending& p : batch) {
-        inputs.push_back(&p.request.inputs);
-      }
-      BindConcatenatedInputs(inputs, &ctx);
-      batched->Run(&ctx, exec);
-      std::vector<std::vector<NDArray>> slices =
-          SliceBatchedOutputs(ctx, static_cast<int>(batch_size));
-      for (size_t i = 0; i < batch_size; ++i) {
-        resps[i].outputs = std::move(slices[i]);
-      }
-    }
-    std::chrono::steady_clock::time_point done = std::chrono::steady_clock::now();
-    for (size_t i = 0; i < batch_size; ++i) {
-      resps[i].queue_ms = MsBetween(batch[i].enqueued, started);
-      resps[i].run_ms = MsBetween(started, done);
-      resps[i].batch_size = static_cast<int>(batch_size);
-    }
-  } catch (...) {
-    err = std::current_exception();
-  }
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  active_requests_.fetch_sub(static_cast<int>(total), std::memory_order_relaxed);
 
   // Stats bookkeeping strictly before the promises are fulfilled: a client that
   // returns from future.get() must observe its own request in stats().completed.
-  active_.fetch_sub(1, std::memory_order_relaxed);
-  active_requests_.fetch_sub(static_cast<int>(batch_size), std::memory_order_relaxed);
-  completed_.fetch_add(static_cast<int64_t>(batch_size), std::memory_order_relaxed);
-  for (size_t i = 0; i < batch_size; ++i) {
-    if (err) {
-      batch[i].promise->set_exception(err);
+  // One lock hold for the whole batch keeps totals and per-class counters
+  // mutually consistent in any concurrent stats() snapshot.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (serial) {
+      ++stats_.serial_runs;
     } else {
-      batch[i].promise->set_value(std::move(resps[i]));
+      ++stats_.chunked_runs;
     }
+    if (compile_failed) {
+      ++stats_.batch_compile_failures;
+    }
+    if (split) {
+      ++stats_.batch_splits;
+    }
+    stats_.completed += static_cast<int64_t>(total);
+    for (const Pending& p : expired) {
+      ServerStats::ClassStats& c = stats_.per_class[p.priority];
+      ++c.completed;
+      ++c.deadline_missed;
+      ++stats_.deadline_missed;
+      ++stats_.failed;
+    }
+    for (size_t i = 0; i < live.size(); ++i) {
+      ServerStats::ClassStats& c = stats_.per_class[live[i].priority];
+      ++c.completed;
+      const InferenceResponse& r = resps[i];
+      if (r.status.ok()) {
+        ++c.ok;
+        const double svc = r.run_ms / std::max(1, r.batch_size);
+        ewma_service_ms_ =
+            ewma_service_ms_ <= 0 ? svc : 0.2 * svc + 0.8 * ewma_service_ms_;
+      } else {
+        ++stats_.failed;
+        if (r.status.code == StatusCode::kDeadlineExceeded) {
+          ++stats_.deadline_missed;
+          ++c.deadline_missed;
+        }
+      }
+      if (r.retries > 0) {
+        stats_.retries += r.retries;
+        ++c.retried;
+      }
+      if (r.fell_back) {
+        ++stats_.fallbacks;
+        ++c.fallback;
+      }
+    }
+  }
+  for (Pending& p : expired) {
+    InferenceResponse r;
+    r.status = {StatusCode::kDeadlineExceeded,
+                "deadline expired after " +
+                    std::to_string(MsBetween(p.enqueued, started)) +
+                    " ms in queue"};
+    r.queue_ms = MsBetween(p.enqueued, started);
+    p.promise->set_value(std::move(r));
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    live[i].promise->set_value(std::move(resps[i]));
   }
   // Drain bookkeeping strictly after: Shutdown must not return until every accepted
   // request's future is actually fulfilled.
-  delivered_.fetch_add(static_cast<int64_t>(batch_size), std::memory_order_relaxed);
+  delivered_.fetch_add(static_cast<int64_t>(total), std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
   }
@@ -319,17 +659,8 @@ void InferenceServer::Shutdown() {
 }
 
 ServerStats InferenceServer::stats() const {
-  ServerStats s;
-  s.accepted = accepted_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.chunked_runs = chunked_runs_.load(std::memory_order_relaxed);
-  s.serial_runs = serial_runs_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
-  s.full_batches = full_batches_.load(std::memory_order_relaxed);
-  s.timeout_batches = timeout_batches_.load(std::memory_order_relaxed);
-  return s;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
 }
 
 }  // namespace serve

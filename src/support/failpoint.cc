@@ -1,0 +1,294 @@
+#include "src/support/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "src/support/random.h"
+
+namespace tvmcpp {
+namespace failpoint {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Action> armed;
+  // Counters keyed by the concrete evaluated name (a wildcard match counts
+  // against the point that was evaluated, not against "*").
+  std::unordered_map<std::string, std::pair<int64_t, int64_t>> counters;  // hit, fire
+  Rng global_rng{0x5EEDULL};
+  uint64_t global_seed = 0x5EEDULL;
+};
+
+Registry& Reg() {
+  static Registry* r = new Registry();  // leaked: usable during static teardown
+  return *r;
+}
+
+// Fast path: number of armed entries. Zero means Evaluate returns immediately.
+std::atomic<int>& ArmedCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+// Thread-local deterministic stream installed by ScopedRequestSeed.
+thread_local Rng* tls_stream = nullptr;
+
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  // SplitMix64 step over the combined value: decorrelates adjacent stream ids.
+  uint64_t z = seed ^ (stream + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void ArmLocked(Registry& reg, const std::string& name, const Action& action) {
+  auto it = reg.armed.find(name);
+  bool was_armed = it != reg.armed.end();
+  if (action.kind == ActionKind::kOff) {
+    if (was_armed) {
+      reg.armed.erase(it);
+      ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  reg.armed[name] = action;
+  if (!was_armed) {
+    ArmedCount().fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// Parses "error(0.1)" / "delay(5,0.5)" / "crash" / "off", with an optional
+// "*N" max-fires suffix already stripped by the caller. Returns false on error.
+bool ParseAction(const std::string& text, Action* out) {
+  std::string head = text;
+  std::string args;
+  size_t open = text.find('(');
+  if (open != std::string::npos) {
+    if (text.back() != ')') {
+      return false;
+    }
+    head = text.substr(0, open);
+    args = text.substr(open + 1, text.size() - open - 2);
+  }
+  auto parse_double = [](const std::string& s, double* v) {
+    char* end = nullptr;
+    *v = std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0' && !s.empty();
+  };
+  if (head == "off") {
+    out->kind = ActionKind::kOff;
+    return args.empty();
+  }
+  if (head == "error" || head == "crash") {
+    out->kind = head == "error" ? ActionKind::kError : ActionKind::kCrash;
+    if (!args.empty() && !parse_double(args, &out->probability)) {
+      return false;
+    }
+    return out->probability >= 0 && out->probability <= 1;
+  }
+  if (head == "delay") {
+    out->kind = ActionKind::kDelay;
+    size_t comma = args.find(',');
+    std::string ms = comma == std::string::npos ? args : args.substr(0, comma);
+    if (!parse_double(ms, &out->delay_ms) || out->delay_ms < 0) {
+      return false;
+    }
+    if (comma != std::string::npos &&
+        !parse_double(args.substr(comma + 1), &out->probability)) {
+      return false;
+    }
+    return out->probability >= 0 && out->probability <= 1;
+  }
+  return false;
+}
+
+// One-time arming from the environment. Lazy: the first Evaluate (or counter
+// read) pays it, so no static-init ordering concerns.
+void EnsureEnvLoaded() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* s = std::getenv("TVMCPP_FAILPOINT_SEED")) {
+      SetGlobalSeed(static_cast<uint64_t>(std::strtoull(s, nullptr, 0)));
+    }
+    if (const char* s = std::getenv("TVMCPP_FAILPOINTS")) {
+      if (!ArmSpec(s)) {
+        std::cerr << "failpoint: malformed TVMCPP_FAILPOINTS spec: " << s
+                  << std::endl;
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void Arm(const std::string& name, const Action& action) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ArmLocked(reg, name, action);
+}
+
+bool ArmSpec(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    // Entry separators are ',' and ';' — but only outside parentheses, so
+    // "delay(2,0.5)" stays one action argument list.
+    size_t end = pos;
+    int depth = 0;
+    while (end < spec.size() &&
+           !((spec[end] == ',' || spec[end] == ';') && depth == 0)) {
+      if (spec[end] == '(') {
+        ++depth;
+      } else if (spec[end] == ')') {
+        --depth;
+      }
+      ++end;
+    }
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) {
+      continue;
+    }
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return false;
+    }
+    std::string name = entry.substr(0, eq);
+    std::string action_text = entry.substr(eq + 1);
+    Action action;
+    // Optional "*N" suffix after the action: fire at most N times. The '*' of a
+    // wildcard name is on the left of '=', so this parse is unambiguous.
+    size_t star = action_text.rfind('*');
+    if (star != std::string::npos && star > 0 &&
+        action_text.find(')', star) == std::string::npos) {
+      char* endp = nullptr;
+      long n = std::strtol(action_text.c_str() + star + 1, &endp, 10);
+      if (endp == nullptr || *endp != '\0' || n < 0) {
+        return false;
+      }
+      action.max_fires = n;
+      action_text = action_text.substr(0, star);
+    }
+    if (!ParseAction(action_text, &action)) {
+      return false;
+    }
+    Arm(name, action);
+  }
+  return true;
+}
+
+void Disarm(const std::string& name) {
+  Action off;
+  off.kind = ActionKind::kOff;
+  Arm(name, off);
+}
+
+void DisarmAll() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ArmedCount().fetch_sub(static_cast<int>(reg.armed.size()),
+                         std::memory_order_relaxed);
+  reg.armed.clear();
+  reg.counters.clear();
+}
+
+int64_t HitCount(const std::string& name) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.counters.find(name);
+  return it == reg.counters.end() ? 0 : it->second.first;
+}
+
+int64_t FireCount(const std::string& name) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.counters.find(name);
+  return it == reg.counters.end() ? 0 : it->second.second;
+}
+
+void SetGlobalSeed(uint64_t seed) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.global_seed = seed;
+  reg.global_rng = Rng(seed);
+}
+
+ScopedRequestSeed::ScopedRequestSeed(uint64_t stream) {
+  saved_ = tls_stream;
+  uint64_t seed;
+  {
+    Registry& reg = Reg();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    seed = MixSeed(reg.global_seed, stream);
+  }
+  tls_stream = new Rng(seed);
+}
+
+ScopedRequestSeed::~ScopedRequestSeed() {
+  delete tls_stream;
+  tls_stream = static_cast<Rng*>(saved_);
+}
+
+bool Evaluate(const char* name, bool throwing) {
+  if (ArmedCount().load(std::memory_order_relaxed) == 0) {
+    EnsureEnvLoaded();  // cheap after the first call (std::call_once fast path)
+    if (ArmedCount().load(std::memory_order_relaxed) == 0) {
+      return false;
+    }
+  }
+  Registry& reg = Reg();
+  Action action;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.armed.find(name);
+    if (it == reg.armed.end()) {
+      it = reg.armed.find("*");
+    }
+    if (it == reg.armed.end()) {
+      return false;
+    }
+    auto& counter = reg.counters[name];
+    ++counter.first;  // hit
+    action = it->second;
+    // An error action at a non-throwing (FAILPOINT_SAFE) site is inert by
+    // contract: counted as a hit, never as a fire, and consumes no draw — the
+    // deterministic stream stays aligned with what a throwing site would see.
+    if (action.kind == ActionKind::kError && !throwing) {
+      return false;
+    }
+    double draw = action.probability >= 1.0
+                      ? 0.0
+                      : (tls_stream != nullptr ? tls_stream->UniformReal()
+                                               : reg.global_rng.UniformReal());
+    if (draw >= action.probability) {
+      return false;
+    }
+    if (action.max_fires >= 0 && counter.second >= action.max_fires) {
+      return false;
+    }
+    ++counter.second;  // fire
+  }
+  switch (action.kind) {
+    case ActionKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          action.delay_ms));
+      return true;
+    case ActionKind::kError:
+      throw InjectedFault(name, std::string("injected fault at ") + name);
+    case ActionKind::kCrash:
+      std::cerr << "failpoint: injected crash at " << name << std::endl;
+      std::abort();
+    case ActionKind::kOff:
+      break;
+  }
+  return false;
+}
+
+}  // namespace failpoint
+}  // namespace tvmcpp

@@ -1,0 +1,105 @@
+// Fail-point injection: named places in the code that can be made to fail on
+// demand, so the fault-tolerance paths of the stack (retry, fallback, shedding,
+// shutdown-under-error) are testable instead of theoretical.
+//
+// A fail-point is compiled in always and costs one relaxed atomic load while no
+// point is armed. Arming happens programmatically (Arm/ArmSpec) or via the
+// environment:
+//
+//   TVMCPP_FAILPOINTS="vm.run=error(0.1),serve.batch_compile=delay(5),*=crash"
+//
+// spec      := entry (',' entry)*            (';' also accepted)
+//   entry   := name '=' action [ '*' N ]     (N = fire at most N times)
+//   action  := 'off'
+//            | 'error' [ '(' p ')' ]         throw InjectedFault with probability p
+//            | 'delay' '(' ms [ ',' p ] ')'  sleep ms with probability p
+//            | 'crash' [ '(' p ')' ]         std::abort() with probability p
+//   name    := a fail-point name, or '*' to arm every point not named explicitly
+//
+// Evaluation sites come in two flavors. FAILPOINT(name) may throw (the error
+// action) — placed only where a structured error path can absorb the exception
+// (the serving layer's submit/execute seams, vm::Run, batch compilation).
+// FAILPOINT_SAFE(name) never throws — placed where losing the operation would
+// violate an invariant (inside queue push/pop, thread-pool job dispatch): delay
+// and crash actions still fire there, error actions are counted but inert.
+//
+// Determinism: probability draws come from a per-thread stream when a
+// ScopedRequestSeed is active (the serving layer opens one per request attempt,
+// keyed by the request's admission sequence number), otherwise from a global
+// stream seeded by TVMCPP_FAILPOINT_SEED. A single-threaded test run therefore
+// fires the exact same faults every time.
+#ifndef SRC_SUPPORT_FAILPOINT_H_
+#define SRC_SUPPORT_FAILPOINT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tvmcpp {
+namespace failpoint {
+
+enum class ActionKind { kOff, kError, kDelay, kCrash };
+
+struct Action {
+  ActionKind kind = ActionKind::kOff;
+  double probability = 1.0;  // chance that an evaluation fires the action
+  double delay_ms = 0;       // sleep duration for kDelay
+  int64_t max_fires = -1;    // stop firing after this many fires (< 0: unlimited)
+};
+
+// Thrown by an armed error action at a FAILPOINT (throwing) site.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(const std::string& point, const std::string& msg)
+      : std::runtime_error(msg), point_(point) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+// Arms `name` (or "*" for the wildcard entry) with `action`. Thread-safe.
+void Arm(const std::string& name, const Action& action);
+// Parses and arms a full spec string (grammar above). Returns false — arming
+// nothing further — on the first malformed entry.
+bool ArmSpec(const std::string& spec);
+void Disarm(const std::string& name);
+// Disarms every point and resets all hit/fire counters.
+void DisarmAll();
+
+// Evaluations / fired actions per concrete point name (counted only while some
+// point is armed — the disarmed fast path does no bookkeeping).
+int64_t HitCount(const std::string& name);
+int64_t FireCount(const std::string& name);
+
+// Reseeds the global draw stream (also TVMCPP_FAILPOINT_SEED; default 0x5EED).
+void SetGlobalSeed(uint64_t seed);
+
+// Switches this thread's probability draws to a deterministic stream derived from
+// (global seed, stream id) for the scope's lifetime. Nestable; restores the
+// previous stream on destruction.
+class ScopedRequestSeed {
+ public:
+  explicit ScopedRequestSeed(uint64_t stream);
+  ~ScopedRequestSeed();
+  ScopedRequestSeed(const ScopedRequestSeed&) = delete;
+  ScopedRequestSeed& operator=(const ScopedRequestSeed&) = delete;
+
+ private:
+  void* saved_;  // previous thread-local stream (opaque)
+};
+
+// Evaluates the fail-point `name`: no-op unless armed (one relaxed atomic load).
+// Returns true when an action fired. `throwing` selects FAILPOINT vs
+// FAILPOINT_SAFE semantics for the error action.
+bool Evaluate(const char* name, bool throwing);
+
+}  // namespace failpoint
+}  // namespace tvmcpp
+
+// May throw failpoint::InjectedFault — use only where a typed error path exists.
+#define FAILPOINT(name) ::tvmcpp::failpoint::Evaluate(name, /*throwing=*/true)
+// Never throws (error actions are inert): for seams that must not lose work.
+#define FAILPOINT_SAFE(name) ::tvmcpp::failpoint::Evaluate(name, /*throwing=*/false)
+
+#endif  // SRC_SUPPORT_FAILPOINT_H_

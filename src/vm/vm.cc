@@ -21,6 +21,7 @@
 #include "src/ir/printer.h"
 #include "src/ir/simplify.h"
 #include "src/runtime/threadpool.h"
+#include "src/support/failpoint.h"
 #include "src/support/float16.h"
 
 namespace tvmcpp {
@@ -2488,6 +2489,11 @@ std::shared_ptr<const Program> CompileToProgram(const LoweredFunc& func,
 
 void Run(const Program& program, const std::vector<BufferBinding>& args,
          const ExecOptions& options) {
+  // Throwing fail-point: an injected error surfaces as a per-run fault exactly
+  // like a real execution failure, exercising the serving layer's retry/fallback
+  // ladder. Evaluated on the caller's thread before any chunk is dispatched, so a
+  // throw never strands kParallel chunk jobs.
+  FAILPOINT("vm.run");
   CHECK_EQ(static_cast<int32_t>(args.size()), program.num_args)
       << "argument count mismatch for " << program.name;
   ExecState st;

@@ -61,6 +61,13 @@ struct ExecOptions {
   // Worker count for kParallel loops. 0 = TVMCPP_NUM_THREADS env or
   // std::thread::hardware_concurrency(); 1 = force serial execution.
   int num_threads = 0;
+  // Execute on the tree-walking reference interpreter instead of the VM, as an
+  // *explicit* engine choice: unlike a compile-failure fallback it is not counted
+  // by FallbackCount and never trips TVMCPP_VM_STRICT. The serving layer's
+  // retry-with-fallback ladder (src/serve) sets this for the final down-tier
+  // attempt after VM execution faults. Honored by graph::CompiledGraph::Run;
+  // vm::Run itself ignores it (callers pick the engine before dispatching).
+  bool force_interp = false;
   // Worker pool for kParallel chunks. nullptr = the lazily-created process-wide pool.
   // The serving scheduler (src/serve) passes its own pool here so request-level jobs
   // and intra-kernel chunks multiplex over the same threads; a thread that waits on

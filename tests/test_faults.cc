@@ -1,0 +1,546 @@
+// Fault-injection differential suite (src/support/failpoint.*, the serving
+// layer's retry/fallback/shed ladder in src/serve/serve.cc).
+//
+// The bar: an injected fault may cost latency, never correctness. Requests that
+// recover — by retry, by batch split, or by the interpreter down-tier — must
+// return outputs *bitwise* identical to a fault-free sequential run, under
+// TVMCPP_VM_STRICT=1 so a silent engine downgrade cannot masquerade as recovery
+// (the explicit force_interp fallback is exempt by design). Requests that cannot
+// recover must fail with a typed status on their own future while cohabitants
+// succeed, and Shutdown must drain every future no matter what was armed.
+//
+// Every test disarms the registry on entry and exit (ScopedFailpoints), so the
+// suite is self-contained even when TVMCPP_FAILPOINTS is armed globally (the CI
+// fault-smoke job re-runs the whole binary that way).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/executor.h"
+#include "src/graph/graph.h"
+#include "src/interp/interp.h"
+#include "src/runtime/ndarray.h"
+#include "src/runtime/target.h"
+#include "src/serve/queue.h"
+#include "src/serve/serve.h"
+#include "src/support/failpoint.h"
+#include "src/vm/vm.h"
+
+namespace tvmcpp {
+namespace {
+
+namespace fp = failpoint;
+
+// Disarm on entry (isolating the test from env-armed specs) and on exit
+// (isolating later tests from this one).
+struct ScopedFailpoints {
+  ScopedFailpoints() { fp::DisarmAll(); }
+  ~ScopedFailpoints() { fp::DisarmAll(); }
+};
+
+struct ScopedStrictMode {
+  bool saved;
+  ScopedStrictMode() : saved(vm::StrictMode()) { vm::SetStrictMode(true); }
+  ~ScopedStrictMode() { vm::SetStrictMode(saved); }
+};
+
+// Tests that fault the VM tier specifically (vm.run) need a VM tier to exist:
+// under TVMCPP_ENGINE=interp every kernel already runs on the interpreter and
+// the fail-point is never reached.
+bool NoVmTier() { return GetExecEngine() == ExecEngine::kInterp; }
+
+// Same conv+relu chain as test_serve.cc: several fused kernels, recycled
+// intermediate storage, batch-covariant input — recovery bugs corrupt visibly.
+graph::Graph MakeConvChain() {
+  graph::Graph g;
+  int data = g.AddInput("data", {1, 4, 8, 8});
+  int w1 = g.AddConst("w1", {8, 4, 3, 3});
+  int w2 = g.AddConst("w2", {8, 8, 1, 1});
+  int c1 = g.AddOp("conv2d", "conv1", {data, w1}, {{"stride", 1}, {"pad", 1}});
+  int r1 = g.AddOp("relu", "relu1", {c1});
+  int c2 = g.AddOp("conv2d", "conv2", {r1, w2}, {{"stride", 1}, {"pad", 0}});
+  g.outputs = {g.AddOp("relu", "relu2", {c2})};
+  return g;
+}
+
+std::unordered_map<std::string, NDArray> ChainWeights(uint64_t seed) {
+  std::unordered_map<std::string, NDArray> w;
+  w["w1"] = NDArray::Random({8, 4, 3, 3}, DataType::Float32(), seed + 1);
+  w["w2"] = NDArray::Random({8, 8, 1, 1}, DataType::Float32(), seed + 2);
+  return w;
+}
+
+NDArray ChainInput(uint64_t seed) {
+  return NDArray::Random({1, 4, 8, 8}, DataType::Float32(), 1000 + seed);
+}
+
+std::shared_ptr<graph::CompiledGraph> MakeChainModel(uint64_t weight_seed) {
+  auto model = std::make_shared<graph::CompiledGraph>(
+      MakeConvChain(), Target::ArmA53(), graph::CompileOptions{});
+  for (const auto& kv : ChainWeights(weight_seed)) {
+    model->SetParam(kv.first, kv.second);
+  }
+  return model;
+}
+
+// Fault-free oracle: one fresh batch-1 GraphExecutor run per input.
+NDArray SequentialRun(uint64_t weight_seed, const NDArray& input) {
+  graph::GraphExecutor exec(MakeConvChain(), Target::ArmA53(), {});
+  for (const auto& kv : ChainWeights(weight_seed)) {
+    exec.SetParam(kv.first, kv.second);
+  }
+  exec.SetInput("data", input);
+  exec.Run();
+  return exec.GetOutput(0).Copy();
+}
+
+void ExpectBitwiseEqual(const NDArray& a, const NDArray& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.NumElements(), b.NumElements()) << what;
+  EXPECT_EQ(std::memcmp(a.Data<char>(), b.Data<char>(),
+                        static_cast<size_t>(a.ByteSize())),
+            0)
+      << what << ": outputs differ";
+}
+
+// ---------------------------------------------------------------------------
+// Fail-point framework
+// ---------------------------------------------------------------------------
+
+TEST(Failpoint, SpecParsing) {
+  ScopedFailpoints guard;
+  EXPECT_TRUE(fp::ArmSpec("a=error(0.5),b=delay(3),c=crash(0.0);d=off"));
+  EXPECT_TRUE(fp::ArmSpec("a=error*2"));       // max-fires suffix
+  EXPECT_TRUE(fp::ArmSpec("a=delay(2,0.5)*4"));
+  EXPECT_FALSE(fp::ArmSpec("a=bogus"));        // unknown action
+  EXPECT_FALSE(fp::ArmSpec("a=error(1.5)"));   // probability out of range
+  EXPECT_FALSE(fp::ArmSpec("a=delay"));        // delay needs a duration
+  EXPECT_FALSE(fp::ArmSpec("=error"));         // empty name
+  EXPECT_FALSE(fp::ArmSpec("a=error*-1"));     // negative max-fires
+}
+
+TEST(Failpoint, ErrorFiresAndDisarms) {
+  ScopedFailpoints guard;
+  ASSERT_TRUE(fp::ArmSpec("test.pt=error"));
+  EXPECT_THROW(FAILPOINT("test.pt"), fp::InjectedFault);
+  try {
+    FAILPOINT("test.pt");
+    FAIL() << "expected InjectedFault";
+  } catch (const fp::InjectedFault& e) {
+    EXPECT_EQ(e.point(), "test.pt");
+  }
+  EXPECT_EQ(fp::FireCount("test.pt"), 2);
+  EXPECT_EQ(fp::HitCount("test.pt"), 2);
+  fp::Disarm("test.pt");
+  EXPECT_NO_THROW(FAILPOINT("test.pt"));  // disarmed: inert
+  EXPECT_NO_THROW(FAILPOINT("never.armed"));
+}
+
+TEST(Failpoint, MaxFiresCapsFiring) {
+  ScopedFailpoints guard;
+  ASSERT_TRUE(fp::ArmSpec("test.cap=error*2"));
+  int thrown = 0;
+  for (int i = 0; i < 5; ++i) {
+    try {
+      FAILPOINT("test.cap");
+    } catch (const fp::InjectedFault&) {
+      ++thrown;
+    }
+  }
+  EXPECT_EQ(thrown, 2);
+  EXPECT_EQ(fp::FireCount("test.cap"), 2);
+  EXPECT_EQ(fp::HitCount("test.cap"), 5);
+}
+
+TEST(Failpoint, WildcardArmsEveryPoint) {
+  ScopedFailpoints guard;
+  ASSERT_TRUE(fp::ArmSpec("*=error"));
+  EXPECT_THROW(FAILPOINT("some.point"), fp::InjectedFault);
+  EXPECT_THROW(FAILPOINT("another.point"), fp::InjectedFault);
+  // An explicit entry wins over the wildcard.
+  ASSERT_TRUE(fp::ArmSpec("some.point=off"));
+  EXPECT_THROW(FAILPOINT("another.point"), fp::InjectedFault);
+}
+
+TEST(Failpoint, SafeModeErrorIsInert) {
+  ScopedFailpoints guard;
+  ASSERT_TRUE(fp::ArmSpec("test.safe=error"));
+  EXPECT_NO_THROW(FAILPOINT_SAFE("test.safe"));
+  EXPECT_EQ(fp::FireCount("test.safe"), 0);  // counted as hit, never as fire
+  EXPECT_EQ(fp::HitCount("test.safe"), 1);
+}
+
+TEST(Failpoint, DeterministicPerRequestStreams) {
+  ScopedFailpoints guard;
+  fp::SetGlobalSeed(42);
+  ASSERT_TRUE(fp::ArmSpec("test.det=error(0.5)"));
+  auto pattern_for = [](uint64_t stream) {
+    fp::ScopedRequestSeed seed(stream);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      bool threw = false;
+      try {
+        FAILPOINT("test.det");
+      } catch (const fp::InjectedFault&) {
+        threw = true;
+      }
+      fired.push_back(threw);
+    }
+    return fired;
+  };
+  std::vector<bool> first = pattern_for(7);
+  std::vector<bool> again = pattern_for(7);
+  std::vector<bool> other = pattern_for(8);
+  EXPECT_EQ(first, again) << "same stream must reproduce the same faults";
+  EXPECT_NE(first, other) << "distinct streams must decorrelate";
+  // p = 0.5 over 64 draws: both outcomes must actually occur.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+// ---------------------------------------------------------------------------
+// Queue under injected delays: exactly-once MPMC delivery
+// ---------------------------------------------------------------------------
+
+TEST(Failpoint, QueueExactlyOnceUnderDelayInjection) {
+  ScopedFailpoints guard;
+  // Delays at the push/drain seams widen every race window the MPMC queue has;
+  // the error action must stay inert at these FAILPOINT_SAFE sites.
+  ASSERT_TRUE(fp::ArmSpec(
+      "serve.queue_push=delay(0.2,0.3),serve.queue_drain=delay(0.2,0.3)"));
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 50;
+  serve::BoundedQueue<int> q(8);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::mutex mu;
+  std::set<int> seen;
+  std::atomic<int> popped{0};
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int v;
+      while (q.Pop(&v)) {
+        std::lock_guard<std::mutex> lock(mu);
+        ASSERT_TRUE(seen.insert(v).second) << "duplicate delivery of " << v;
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[static_cast<size_t>(p)].join();
+  }
+  q.Close();
+  for (size_t t = kProducers; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+// ---------------------------------------------------------------------------
+// Serving-layer recovery: typed errors, retry, fallback, isolation
+// ---------------------------------------------------------------------------
+
+TEST(Faults, QueueAdmissionFaultIsTyped) {
+  ScopedFailpoints guard;
+  ASSERT_TRUE(fp::ArmSpec("serve.queue_push=error"));
+  std::shared_ptr<graph::CompiledGraph> model = MakeChainModel(3);
+  serve::InferenceServer server(serve::ServerOptions{});
+  serve::InferenceRequest req;
+  req.inputs["data"] = ChainInput(1);
+  serve::InferenceResponse resp = server.Submit(model, std::move(req)).get();
+  EXPECT_EQ(resp.status.code, serve::StatusCode::kQueueFault);
+  EXPECT_EQ(server.stats().accepted, 0);  // never admitted
+  fp::DisarmAll();
+  // The server is unharmed: the next request succeeds.
+  serve::InferenceRequest ok;
+  ok.inputs["data"] = ChainInput(1);
+  EXPECT_TRUE(server.Submit(model, std::move(ok)).get().status.ok());
+}
+
+TEST(Faults, TransientRunFaultRetriesBitwiseEqual) {
+  ScopedFailpoints guard;
+  ScopedStrictMode strict;
+  // Fires exactly twice: the first attempt and the first retry fault, the second
+  // retry succeeds — still on the VM engine, no fallback involved.
+  ASSERT_TRUE(fp::ArmSpec("serve.run=error*2"));
+  std::shared_ptr<graph::CompiledGraph> model = MakeChainModel(17);
+  serve::ServerOptions options;
+  options.max_retries = 3;
+  options.retry_backoff_ms = 0.1;
+  serve::InferenceServer server(options);
+  NDArray input = ChainInput(5);
+  serve::InferenceRequest req;
+  req.inputs["data"] = input.Copy();
+  serve::InferenceResponse resp = server.Submit(model, std::move(req)).get();
+  ASSERT_TRUE(resp.status.ok()) << resp.status.message;
+  EXPECT_EQ(resp.retries, 2);
+  EXPECT_FALSE(resp.fell_back);
+  ExpectBitwiseEqual(resp.outputs[0], SequentialRun(17, input),
+                     "retried output vs fault-free oracle");
+  serve::ServerStats s = server.stats();
+  EXPECT_EQ(s.retries, 2);
+  EXPECT_EQ(s.fallbacks, 0);
+  EXPECT_EQ(s.per_class[0].retried, 1);
+}
+
+TEST(Faults, PersistentVmFaultFallsBackBitwiseEqual) {
+  if (NoVmTier()) {
+    GTEST_SKIP() << "TVMCPP_ENGINE=interp: no VM tier to fault";
+  }
+  ScopedFailpoints guard;
+  ScopedStrictMode strict;
+  // Every VM execution faults; only the interpreter down-tier (which bypasses
+  // vm::Run entirely) can serve the request. Strict mode stays on: force_interp
+  // is an explicit engine choice, not a silent downgrade.
+  ASSERT_TRUE(fp::ArmSpec("vm.run=error"));
+  std::shared_ptr<graph::CompiledGraph> model = MakeChainModel(29);
+  serve::ServerOptions options;
+  options.max_retries = 1;
+  options.retry_backoff_ms = 0.1;
+  serve::InferenceServer server(options);
+  NDArray input = ChainInput(9);
+  serve::InferenceRequest req;
+  req.inputs["data"] = input.Copy();
+  serve::InferenceResponse resp = server.Submit(model, std::move(req)).get();
+  ASSERT_TRUE(resp.status.ok()) << resp.status.message;
+  EXPECT_TRUE(resp.fell_back);
+  EXPECT_EQ(resp.retries, 2);  // one VM retry + the fallback attempt
+  // Disarm before the oracle: SequentialRun goes through vm::Run too, and has no
+  // recovery ladder of its own.
+  fp::DisarmAll();
+  ExpectBitwiseEqual(resp.outputs[0], SequentialRun(29, input),
+                     "fallback output vs fault-free oracle");
+  serve::ServerStats s = server.stats();
+  EXPECT_EQ(s.fallbacks, 1);
+  EXPECT_EQ(s.per_class[0].fallback, 1);
+}
+
+TEST(Faults, FallbackDisabledReportsTypedFailure) {
+  if (NoVmTier()) {
+    GTEST_SKIP() << "TVMCPP_ENGINE=interp: no VM tier to fault";
+  }
+  ScopedFailpoints guard;
+  ASSERT_TRUE(fp::ArmSpec("vm.run=error"));
+  std::shared_ptr<graph::CompiledGraph> model = MakeChainModel(31);
+  serve::ServerOptions options;
+  options.max_retries = 1;
+  options.retry_backoff_ms = 0.1;
+  options.enable_fallback = 0;
+  serve::InferenceServer server(options);
+  serve::InferenceRequest req;
+  req.inputs["data"] = ChainInput(2);
+  serve::InferenceResponse resp = server.Submit(model, std::move(req)).get();
+  EXPECT_EQ(resp.status.code, serve::StatusCode::kExecutionFailed);
+  EXPECT_NE(resp.status.message.find("injected fault"), std::string::npos)
+      << "typed error must carry the fault cause: " << resp.status.message;
+  EXPECT_EQ(server.stats().failed, 1);
+}
+
+TEST(Faults, BatchCompileFaultDegradesToPerRequest) {
+  ScopedFailpoints guard;
+  ScopedStrictMode strict;
+  // Batch-variant compilation always faults; every coalesced batch must degrade
+  // to per-request runs on the base model and still succeed bitwise.
+  ASSERT_TRUE(fp::ArmSpec("serve.batch_compile=error"));
+  const uint64_t kWeightSeed = 41;
+  std::shared_ptr<graph::CompiledGraph> model = MakeChainModel(kWeightSeed);
+  serve::ServerOptions options;
+  options.num_workers = 1;  // one scheduler job at a time: deterministic batching
+  options.max_batch = 4;
+  options.batch_timeout_ms = 50;
+  serve::InferenceServer server(options);
+  constexpr int kRequests = 4;
+  std::vector<NDArray> inputs;
+  std::vector<std::future<serve::InferenceResponse>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(ChainInput(static_cast<uint64_t>(i)));
+    serve::InferenceRequest req;
+    req.inputs["data"] = inputs.back().Copy();
+    futures.push_back(server.Submit(model, std::move(req)));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    serve::InferenceResponse resp = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(resp.status.ok()) << resp.status.message;
+    EXPECT_EQ(resp.batch_size, 1) << "degraded requests run per-request";
+    ExpectBitwiseEqual(
+        resp.outputs[0],
+        SequentialRun(kWeightSeed, inputs[static_cast<size_t>(i)]),
+        "degraded request " + std::to_string(i));
+  }
+  serve::ServerStats s = server.stats();
+  EXPECT_GE(s.batch_compile_failures, 1);
+  EXPECT_EQ(s.failed, 0) << "a compile fault must not fail any request";
+}
+
+TEST(Faults, MidBatchFaultIsolatesAndSplits) {
+  ScopedFailpoints guard;
+  ScopedStrictMode strict;
+  // The batched run faults once; the batch must split into per-request ladders
+  // and every cohabitant still succeed bitwise (the fire budget is spent on the
+  // batch-level evaluation, so the splits run clean).
+  ASSERT_TRUE(fp::ArmSpec("serve.run=error*1"));
+  const uint64_t kWeightSeed = 43;
+  std::shared_ptr<graph::CompiledGraph> model = MakeChainModel(kWeightSeed);
+  serve::ServerOptions options;
+  options.num_workers = 1;
+  options.max_batch = 4;
+  options.batch_timeout_ms = 50;
+  serve::InferenceServer server(options);
+  constexpr int kRequests = 4;
+  std::vector<NDArray> inputs;
+  std::vector<std::future<serve::InferenceResponse>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(ChainInput(100 + static_cast<uint64_t>(i)));
+    serve::InferenceRequest req;
+    req.inputs["data"] = inputs.back().Copy();
+    futures.push_back(server.Submit(model, std::move(req)));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    serve::InferenceResponse resp = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(resp.status.ok()) << resp.status.message;
+    ExpectBitwiseEqual(
+        resp.outputs[0],
+        SequentialRun(kWeightSeed, inputs[static_cast<size_t>(i)]),
+        "split request " + std::to_string(i));
+  }
+  serve::ServerStats s = server.stats();
+  EXPECT_EQ(s.batch_splits + s.retries, 1)
+      << "exactly one fault fired: either a batch split or a single-run retry";
+  EXPECT_EQ(s.failed, 0) << "one faulted evaluation must not fail any request";
+}
+
+TEST(Faults, DeadlineExpiredInQueueIsTyped) {
+  ScopedFailpoints guard;
+  // A slow request occupies the single worker; a short-deadline request behind
+  // it must be failed at pop (typed, not executed), a deadline-less one served.
+  ASSERT_TRUE(fp::ArmSpec("serve.run=delay(40)*1"));
+  std::shared_ptr<graph::CompiledGraph> model = MakeChainModel(7);
+  serve::ServerOptions options;
+  options.num_workers = 1;
+  options.enable_shedding = 0;  // isolate pop-time enforcement from admission
+  serve::InferenceServer server(options);
+  serve::InferenceRequest slow;
+  slow.inputs["data"] = ChainInput(1);
+  std::future<serve::InferenceResponse> f_slow =
+      server.Submit(model, std::move(slow));
+  // Let the worker pop the slow request (and start its 40 ms injected delay)
+  // before anything else is queued, so the later requests queue behind it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  serve::InferenceRequest doomed;
+  doomed.inputs["data"] = ChainInput(2);
+  doomed.deadline_ms = 5;  // expires while the slow request holds the worker
+  std::future<serve::InferenceResponse> f_doomed =
+      server.Submit(model, std::move(doomed));
+  serve::InferenceRequest patient;
+  patient.inputs["data"] = ChainInput(3);
+  std::future<serve::InferenceResponse> f_patient =
+      server.Submit(model, std::move(patient));
+
+  EXPECT_TRUE(f_slow.get().status.ok());
+  serve::InferenceResponse miss = f_doomed.get();
+  EXPECT_EQ(miss.status.code, serve::StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(miss.outputs.empty());
+  EXPECT_TRUE(f_patient.get().status.ok());
+  serve::ServerStats s = server.stats();
+  EXPECT_EQ(s.deadline_missed, 1);
+  EXPECT_EQ(s.per_class[0].deadline_missed, 1);
+  EXPECT_EQ(s.completed, 3) << "a missed deadline still completes its future";
+}
+
+TEST(Faults, PriorityClassPopsBeforeFifo) {
+  ScopedFailpoints guard;
+  // While a slow request holds the single worker, a later high-priority request
+  // must overtake an earlier low-priority one: it spends strictly less time in
+  // the queue even though it was submitted after.
+  ASSERT_TRUE(fp::ArmSpec("serve.run=delay(40)*1"));
+  std::shared_ptr<graph::CompiledGraph> model = MakeChainModel(7);
+  serve::ServerOptions options;
+  options.num_workers = 1;
+  serve::InferenceServer server(options);
+  serve::InferenceRequest blocker;
+  blocker.inputs["data"] = ChainInput(1);
+  std::future<serve::InferenceResponse> f_blocker =
+      server.Submit(model, std::move(blocker));
+  // Ensure the blocker is the request the worker popped (and is delayed inside)
+  // before the contenders arrive.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  serve::InferenceRequest low;
+  low.inputs["data"] = ChainInput(2);
+  low.priority = 0;
+  std::future<serve::InferenceResponse> f_low =
+      server.Submit(model, std::move(low));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  serve::InferenceRequest high;
+  high.inputs["data"] = ChainInput(3);
+  high.priority = 10;
+  std::future<serve::InferenceResponse> f_high =
+      server.Submit(model, std::move(high));
+
+  EXPECT_TRUE(f_blocker.get().status.ok());
+  serve::InferenceResponse r_low = f_low.get();
+  serve::InferenceResponse r_high = f_high.get();
+  ASSERT_TRUE(r_low.status.ok());
+  ASSERT_TRUE(r_high.status.ok());
+  // Submitted ~2ms later yet popped earlier: under FIFO r_high.queue_ms would
+  // exceed r_low's by the submit gap plus low's run time.
+  EXPECT_LT(r_high.queue_ms, r_low.queue_ms);
+}
+
+TEST(Faults, ShutdownWithInflightFaultsDrainsEverything) {
+  ScopedFailpoints guard;
+  // Probabilistic faults at every serving seam, then an immediate Shutdown with
+  // dozens of requests in flight: every future must still resolve (this test
+  // hanging IS the failure mode), and jobs:requests stay 1:1.
+  fp::SetGlobalSeed(0xD1CE);
+  ASSERT_TRUE(fp::ArmSpec(
+      "vm.run=error(0.3),serve.run=error(0.2),serve.batch_compile=error(0.5),"
+      "serve.queue_push=error(0.05),pool.dispatch=delay(0.5,0.2)"));
+  std::shared_ptr<graph::CompiledGraph> model = MakeChainModel(53);
+  serve::ServerOptions options;
+  options.num_workers = 3;
+  options.max_batch = 4;
+  options.batch_timeout_ms = 1;
+  options.max_retries = 1;
+  options.retry_backoff_ms = 0.1;
+  serve::InferenceServer server(options);
+  constexpr int kRequests = 48;
+  std::vector<std::future<serve::InferenceResponse>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    serve::InferenceRequest req;
+    req.inputs["data"] = ChainInput(static_cast<uint64_t>(i));
+    futures.push_back(server.Submit(model, std::move(req)));
+  }
+  server.Shutdown();  // must not hang, whatever the armed faults did
+  int resolved = 0;
+  for (std::future<serve::InferenceResponse>& f : futures) {
+    serve::InferenceResponse resp = f.get();  // must not throw
+    (void)resp;
+    ++resolved;
+  }
+  EXPECT_EQ(resolved, kRequests);
+  serve::ServerStats s = server.stats();
+  // Every admitted request completed; queue-faulted ones were never admitted.
+  EXPECT_EQ(s.completed, s.accepted);
+}
+
+}  // namespace
+}  // namespace tvmcpp

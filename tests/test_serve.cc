@@ -5,6 +5,7 @@
 // in-flight requests, post-shutdown rejection, and backpressure on a tiny queue.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <future>
@@ -238,8 +239,66 @@ TEST(Serve, SubmitAfterShutdownRejected) {
   serve::InferenceRequest req;
   req.inputs["data"] = ChainInput(1);
   std::future<serve::InferenceResponse> f = server.Submit(model, std::move(req));
-  EXPECT_THROW(f.get(), std::runtime_error);
+  // Futures always carry a value: rejection is a typed status, not an exception.
+  serve::InferenceResponse resp = f.get();
+  EXPECT_EQ(resp.status.code, serve::StatusCode::kRejected);
+  EXPECT_FALSE(resp.status.ok());
   EXPECT_EQ(server.stats().rejected, 1);
+}
+
+// Pins the torn-read fix: stats() must return one consistent snapshot. Writers
+// update the totals and the per-class breakdown under a single lock hold, so a
+// concurrent reader may never observe them mid-update (the old per-field atomics
+// could return e.g. completed > accepted, or totals != sum of classes).
+TEST(Serve, StatsSnapshotConsistent) {
+  std::shared_ptr<graph::CompiledGraph> model = MakeChainModel(3);
+  serve::ServerOptions options;
+  options.num_workers = 4;
+  serve::InferenceServer server(options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      serve::ServerStats s = server.stats();
+      int64_t class_accepted = 0;
+      int64_t class_completed = 0;
+      for (const auto& kv : s.per_class) {
+        class_accepted += kv.second.accepted;
+        class_completed += kv.second.completed;
+      }
+      if (s.completed > s.accepted || class_accepted != s.accepted ||
+          class_completed != s.completed ||
+          s.batches != s.full_batches + s.timeout_batches) {
+        violations.fetch_add(1);
+      }
+    }
+  });
+
+  constexpr int kRequests = 200;
+  std::vector<std::future<serve::InferenceResponse>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    serve::InferenceRequest req;
+    req.inputs["data"] = ChainInput(i);
+    req.priority = i % 3;  // several classes so per_class has multiple entries
+    futures.push_back(server.Submit(model, std::move(req)));
+  }
+  for (std::future<serve::InferenceResponse>& f : futures) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+  server.Shutdown();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+
+  serve::ServerStats s = server.stats();
+  EXPECT_EQ(s.accepted, kRequests);
+  EXPECT_EQ(s.completed, kRequests);
+  int64_t ok = 0;
+  for (const auto& kv : s.per_class) {
+    ok += kv.second.ok;
+  }
+  EXPECT_EQ(ok, kRequests);
 }
 
 TEST(Serve, BackpressureTinyQueue) {

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Fault-injection smoke: runs the full test suite with fail-points armed at
+# ~p=0.1 on the compile / run / queue paths and checks that nothing crashes,
+# deadlocks, or trips a sanitizer.
+#
+# Individual test *assertion* failures are tolerated — an injected error
+# legitimately changes the outcome a test asserts (a vm::Run that throws
+# InjectedFault fails that test's EXPECT, and should). What is NOT tolerated:
+#   - crashes:   ctest "***Exception" (SegFault, Abort, ...)
+#   - hangs:     ctest "***Timeout" (per-test timeout below)
+#   - sanitizer: AddressSanitizer / LeakSanitizer / UBSan reports
+# i.e. the robustness claim under test is "an injected fault is always surfaced
+# as a structured error, never as memory unsafety, a wedged worker, or a lost
+# future".
+#
+# TVMCPP_FAILPOINTS / TVMCPP_FAILPOINT_SEED are honored if already set, so the
+# job can be re-run with a narrower spec to bisect a failure.
+#
+# Usage: fault_smoke.sh [BUILD_DIR]   (default: build)
+set -u
+
+build_dir="${1:-build}"
+if [ ! -f "$build_dir/CTestTestfile.cmake" ]; then
+  echo "fault_smoke: no ctest suite in '$build_dir' (run cmake/build first)" >&2
+  exit 2
+fi
+
+spec="${TVMCPP_FAILPOINTS:-serve.run=error(0.1),vm.run=error(0.1),serve.batch_compile=error(0.1),serve.queue_push=error(0.05),pool.dispatch=delay(0.5,0.05)}"
+seed="${TVMCPP_FAILPOINT_SEED:-0x5EED}"
+echo "fault_smoke: TVMCPP_FAILPOINTS=$spec"
+echo "fault_smoke: TVMCPP_FAILPOINT_SEED=$seed"
+
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+(
+  cd "$build_dir" &&
+  TVMCPP_FAILPOINTS="$spec" \
+  TVMCPP_FAILPOINT_SEED="$seed" \
+  ASAN_OPTIONS="abort_on_error=1:detect_leaks=0" \
+  ctest --output-on-failure --timeout 300 -j"$(nproc)"
+) >"$log" 2>&1
+ctest_status=$?
+
+# Show the ctest summary for context (pass/fail counts), then gate.
+tail -n 20 "$log"
+
+fatal='\*\*\*Exception|\*\*\*Timeout|ERROR: AddressSanitizer|ERROR: LeakSanitizer|runtime error:'
+if grep -E "$fatal" "$log"; then
+  echo "FAULT_SMOKE_FAIL: crash, hang, or sanitizer report under injected faults (see above)"
+  exit 1
+fi
+echo "FAULT_SMOKE_OK (ctest exit $ctest_status; assertion failures under injected faults are tolerated)"
