@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "src/ir/simplify.h"
+#include "src/vm/vm.h"
 
 namespace tvmcpp {
 namespace autotune {
@@ -95,6 +99,50 @@ std::vector<double> ExtractFeatures(const ProgramStats& stats) {
 
 std::vector<double> ExtractFeatures(const LoweredFunc& func) {
   return ExtractFeatures(AnalyzeProgram(func));
+}
+
+std::vector<double> ExtractFeaturesVm(const LoweredFunc& func,
+                                      const LoopSpecializeOptions& spec) {
+  // Mirror the vm::CompileToProgram lowering pipeline so the classic block
+  // describes the loop nest that actually executes, not the pre-VM one.
+  Stmt body = func.body;
+  if (HasThreadIdxBinding(body)) {
+    body = SerializeThreadBlocks(body);
+  }
+  body = VectorizeLoop(body);
+  if (spec.unroll_limit > 0 || spec.hoist_invariants) {
+    body = SpecializeLoops(body, spec);
+  }
+  body = Simplify(body);
+  LoweredFunc specialized{func.name, func.args, body};
+  std::vector<double> f = ExtractFeatures(AnalyzeProgram(specialized));
+  f.resize(static_cast<size_t>(kFullFeatureDim), 0.0);
+
+  std::shared_ptr<const vm::Program> program = vm::CompileToProgram(func, spec);
+  if (program == nullptr) {
+    return f;  // VM block zeroed; feature [kFeatureDim] doubles as the flag
+  }
+  vm::ProgramStats ps = vm::GetProgramStats(*program);
+  size_t i = static_cast<size_t>(kFeatureDim);
+  f[i++] = 1.0;  // compiled-to-bytecode flag
+  f[i++] = Log2p1(static_cast<double>(ps.num_instructions));
+  f[i++] = Log2p1(static_cast<double>(ps.num_registers));
+  f[i++] = Log2p1(static_cast<double>(ps.jumps));
+  f[i++] = Log2p1(static_cast<double>(ps.int_muls));
+  f[i++] = Log2p1(static_cast<double>(ps.movs));
+  f[i++] = Log2p1(static_cast<double>(ps.loads));
+  f[i++] = Log2p1(static_cast<double>(ps.stores));
+  f[i++] = Log2p1(static_cast<double>(ps.unrolled_loops));
+  f[i++] = Log2p1(static_cast<double>(ps.hoisted_lets));
+  f[i++] = Log2p1(static_cast<double>(ps.csed_muls));
+  f[i++] = Log2p1(static_cast<double>(ps.strength_reduced));
+  f[i++] = Log2p1(static_cast<double>(ps.peephole_removed));
+  f[i++] = vm::ProgramHasParallel(*program) ? 1.0 : 0.0;
+  f[i++] = vm::ProgramHasVector(*program) ? 1.0 : 0.0;
+  // Branch density: straight-line (unrolled) code scores near zero.
+  f[i++] = static_cast<double>(ps.jumps) /
+           static_cast<double>(std::max(ps.num_instructions, 1));
+  return f;
 }
 
 }  // namespace autotune

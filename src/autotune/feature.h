@@ -1,8 +1,15 @@
 // Loop-program feature extraction for the ML cost model (Figure 13).
 //
-// Features include memory access counts and touched sizes of each buffer at each loop
-// level, reuse ratios, arithmetic counts, and one-hot loop annotations — exactly the
-// feature families the paper describes for the XGBoost-style model.
+// Two feature families share one fixed-length vector:
+//   * the classic block (kFeatureDim): memory access counts and touched sizes of
+//     each buffer at each loop level, reuse ratios, arithmetic counts, and
+//     one-hot loop annotations — the feature families the paper describes for
+//     the XGBoost-style model;
+//   * the VM block (kVmFeatureDim): extracted from the *post*-specialization,
+//     *post*-vectorization TIR plus vm::GetProgramStats opcode counts of the
+//     compiled bytecode, so unroll / hoist / strength-reduction decisions shape
+//     the cost landscape the model learns (ExtractFeaturesVm). Sim-mode tasks
+//     leave the VM block zeroed (the machine model analyzes pre-VM TIR).
 #ifndef SRC_AUTOTUNE_FEATURE_H_
 #define SRC_AUTOTUNE_FEATURE_H_
 
@@ -14,13 +21,25 @@
 namespace tvmcpp {
 namespace autotune {
 
-inline constexpr int kFeatureDim = 48;
+inline constexpr int kFeatureDim = 48;     // classic analysis block
+inline constexpr int kVmFeatureDim = 16;   // bytecode-program block
+inline constexpr int kFullFeatureDim = kFeatureDim + kVmFeatureDim;
 
-// Extracts a fixed-length feature vector from analyzed program stats.
+// Extracts the classic kFeatureDim block from analyzed program stats.
 std::vector<double> ExtractFeatures(const ProgramStats& stats);
 
-// Convenience: analyze + extract.
+// Convenience: analyze + extract (pre-specialization TIR, classic block only).
 std::vector<double> ExtractFeatures(const LoweredFunc& func);
+
+// VM-era extraction, kFullFeatureDim wide: mirrors the vm::CompileToProgram
+// pipeline (SerializeThreadBlocks when thread-bound, VectorizeLoop,
+// SpecializeLoops per `spec`, Simplify), analyzes the *specialized* loop nest
+// for the classic block, then compiles the bytecode program and appends its
+// opcode statistics. When the VM cannot compile the function the VM block stays
+// zeroed (flag feature 0) — the classic block still describes the specialized
+// nest the interpreter would run.
+std::vector<double> ExtractFeaturesVm(const LoweredFunc& func,
+                                      const LoopSpecializeOptions& spec);
 
 }  // namespace autotune
 }  // namespace tvmcpp

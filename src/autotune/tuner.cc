@@ -1,25 +1,124 @@
 #include "src/autotune/tuner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <future>
+#include <limits>
 #include <set>
+#include <string>
 #include <unordered_set>
 #include <utility>
 
 #include "src/autotune/feature.h"
 #include "src/lower/lower.h"
+#include "src/runtime/threadpool.h"
 #include "src/sim/machine.h"
 #include "src/support/random.h"
+#include "src/vm/vm.h"
 
 namespace tvmcpp {
 namespace autotune {
 
-TuningTask::TuningTask(topi::OpWorkload wl, Target target, uint64_t seed, double noise_level)
+namespace {
+
+int EnvIntOr(const char* name, int fallback, int min_value) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') {
+    return fallback;
+  }
+  return std::max(min_value, std::atoi(s));
+}
+
+}  // namespace
+
+MeasureOptions MeasureOptions::FromEnv(const Target& target) {
+  MeasureOptions m;
+  const char* sim = std::getenv("TVMCPP_TUNE_SIM");
+  bool force_sim = sim != nullptr && std::string(sim) == "1";
+  // Only CPU-target programs execute natively on this host; GPU/accelerator
+  // codegen runs serialized (SerializeThreadBlocks), so wall-clock there would
+  // rank configs by an irrelevant machine. Those targets keep the sim model.
+  m.use_sim = force_sim || target.kind != TargetKind::kCpu;
+  m.warmup = EnvIntOr("TVMCPP_TUNE_WARMUP", m.warmup, 0);
+  m.repeats = EnvIntOr("TVMCPP_TUNE_REPEATS", m.repeats, 1);
+  return m;
+}
+
+TuningTask::TuningTask(topi::OpWorkload wl, Target target, uint64_t seed,
+                       double noise_level)
+    : TuningTask(wl, target, MeasureOptions::FromEnv(target), seed, noise_level) {}
+
+TuningTask::TuningTask(topi::OpWorkload wl, Target target, MeasureOptions measure,
+                       uint64_t seed, double noise_level)
     : wl_(std::move(wl)),
       target_(std::move(target)),
+      measure_(measure),
       seed_(seed),
       noise_level_(noise_level) {
   space_ = topi::GetScheduleSpace(wl_, target_);
+}
+
+std::string TuningTask::CacheKey() const {
+  return TuningKey(wl_, target_, measure_.specialize);
+}
+
+LoweredFunc TuningTask::LowerConfig(int64_t index) const {
+  topi::Config config = space_.At(index);
+  topi::BuiltOp built = topi::BuildOpCompute(wl_);
+  Schedule s = topi::ApplyOpSchedule(wl_, target_, built, config);
+  return Lower(s, built.Args(), wl_.Key());
+}
+
+void TuningTask::EnsureArgBuffers(const LoweredFunc& func) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!arg_bindings_.empty()) {
+    return;
+  }
+  // Every config lowers the same extern buffer signature (BuildOpCompute's
+  // placeholders + output, in Lower() argument order), so one set of buffers
+  // serves all trials. Inputs are deterministic per task seed: trials rank
+  // configs on identical data.
+  for (size_t i = 0; i < func.args.size(); ++i) {
+    const BufferArg& arg = func.args[i];
+    NDArray nd = (i + 1 == func.args.size())
+                     ? NDArray::Empty(arg.shape, arg.dtype)
+                     : NDArray::Random(arg.shape, arg.dtype, seed_ * 7919 + i);
+    arg_arrays_.push_back(nd);
+    arg_bindings_.push_back(nd.Binding());
+  }
+}
+
+double TuningTask::MeasureReal(int64_t index) {
+  LoweredFunc func = LowerConfig(index);
+  std::shared_ptr<const vm::Program> program =
+      vm::CompileToProgram(func, measure_.specialize);
+  EnsureArgBuffers(func);
+  auto run_once = [&] {
+    if (program != nullptr) {
+      vm::Run(*program, arg_bindings_, {});
+    } else {
+      // Deliberate engine choice for a VM-unsupported construct, not a silent
+      // downgrade: time what compilation would actually run.
+      RunLoweredInterp(func, arg_bindings_);
+    }
+  };
+  // Timed section: serialized across threads so parallel MeasureBatch callers
+  // (which overlap the lower/compile above) cannot distort each other's clocks.
+  std::lock_guard<std::mutex> timing(time_mu_);
+  for (int i = 0; i < measure_.warmup; ++i) {
+    run_once();
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < std::max(1, measure_.repeats); ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    run_once();
+    double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                   .count();
+    best = std::min(best, s);
+  }
+  return best;
 }
 
 double TuningTask::CostOf(int64_t index, bool with_noise) {
@@ -35,21 +134,19 @@ double TuningTask::CostOf(int64_t index, bool with_noise) {
       return base * (1.0 + noise_level_ * rng.Normal());
     }
   }
-  topi::Config config = space_.At(index);
-  topi::BuiltOp built = topi::BuildOpCompute(wl_);
   double seconds;
   std::vector<double> features;
   try {
-    Schedule s = topi::ApplyOpSchedule(wl_, target_, built, config);
-    LoweredFunc f = Lower(s, built.Args(), wl_.Key());
+    LoweredFunc f = LowerConfig(index);
     ProgramStats stats = AnalyzeProgram(f);
     SimCost cost = target_.kind == TargetKind::kGpu ? EstimateGpuCost(target_, stats)
                                                     : EstimateCpuCost(target_, stats);
     seconds = cost.feasible ? cost.seconds : 1.0;
     features = ExtractFeatures(stats);
+    features.resize(static_cast<size_t>(kFullFeatureDim), 0.0);
   } catch (const InternalError&) {
     seconds = 1.0;  // invalid schedule: huge penalty, like a failed on-device run
-    features.assign(kFeatureDim, 0.0);
+    features.assign(static_cast<size_t>(kFullFeatureDim), 0.0);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -63,8 +160,30 @@ double TuningTask::CostOf(int64_t index, bool with_noise) {
   return seconds * (1.0 + noise_level_ * rng.Normal());
 }
 
-double TuningTask::Measure(int64_t index) { return CostOf(index, true); }
-double TuningTask::TrueCost(int64_t index) { return CostOf(index, false); }
+double TuningTask::Measure(int64_t index) {
+  if (measure_.use_sim) {
+    return CostOf(index, true);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cost_cache_.find(index);
+    if (it != cost_cache_.end()) {
+      return it->second;
+    }
+  }
+  double seconds;
+  try {
+    seconds = MeasureReal(index);
+  } catch (const InternalError&) {
+    seconds = 1.0;  // invalid schedule: huge penalty
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return cost_cache_.emplace(index, seconds).first->second;  // first write wins
+}
+
+double TuningTask::TrueCost(int64_t index) {
+  return measure_.use_sim ? CostOf(index, false) : Measure(index);
+}
 
 std::vector<double> TuningTask::Features(int64_t index) {
   {
@@ -74,26 +193,50 @@ std::vector<double> TuningTask::Features(int64_t index) {
       return it->second;
     }
   }
-  CostOf(index, false);
+  if (measure_.use_sim) {
+    CostOf(index, false);  // sim cost + features come from one lowering
+    std::lock_guard<std::mutex> lock(mu_);
+    return feature_cache_.at(index);
+  }
+  std::vector<double> features;
+  try {
+    features = ExtractFeaturesVm(LowerConfig(index), measure_.specialize);
+  } catch (const InternalError&) {
+    features.assign(static_cast<size_t>(kFullFeatureDim), 0.0);
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  return feature_cache_.at(index);
+  return feature_cache_.emplace(index, std::move(features)).first->second;
 }
 
 namespace {
 
-// Measures a batch (via the device pool when provided), appending to the history.
+// Measures a batch, appending to the history: via the simulated device pool
+// when provided, else concurrently on the worker pool (lower/compile overlap;
+// real-mode timed sections serialize inside the task), else sequentially.
 std::vector<double> MeasureBatch(TuningTask* task, const std::vector<int64_t>& batch,
-                                 DevicePool* pool) {
+                                 const TuneOptions& options) {
   std::vector<double> out(batch.size());
-  if (pool != nullptr) {
+  if (options.pool != nullptr) {
     std::vector<MeasureRequest> reqs(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
       reqs[i].func_name = task->workload().Key();
       reqs[i].payload = &batch[i];
     }
-    std::vector<MeasureResult> results = pool->MeasureBatch(reqs, task->target().name);
+    std::vector<MeasureResult> results =
+        options.pool->MeasureBatch(reqs, task->target().name);
     for (size_t i = 0; i < batch.size(); ++i) {
       out[i] = results[i].ok ? results[i].seconds : 1.0;
+    }
+    return out;
+  }
+  if (options.workers != nullptr && batch.size() > 1) {
+    std::vector<std::future<double>> futures;
+    futures.reserve(batch.size());
+    for (int64_t idx : batch) {
+      futures.push_back(options.workers->Submit([task, idx] { return task->Measure(idx); }));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      out[i] = futures[i].get();
     }
     return out;
   }
@@ -213,6 +356,26 @@ TuneResult Tune(TuningTask* task, TunerKind kind, const TuneOptions& options) {
     result.history.push_back(tr);
   };
 
+  auto learn = [&](int64_t idx, double seconds) {
+    if (kind == TunerKind::kGenetic) {
+      population.emplace_back(idx, seconds);
+    }
+    if (kind == TunerKind::kMlBased) {
+      train_x.push_back(task->Features(idx));
+      train_y.push_back(-std::log(std::max(seconds, 1e-12)));
+    }
+  };
+
+  // Trial 0: the untuned default. The search's best can then never lose to what
+  // compilation would pick on a cache miss, and the model starts from the one
+  // config every production run has already implicitly measured.
+  if (options.include_default && options.num_trials > 0 && space_size > 0) {
+    int64_t default_idx = task->space().IndexOf(topi::DefaultConfig(task->space()));
+    double seconds = MeasureBatch(task, {default_idx}, options)[0];
+    record(default_idx, seconds);
+    learn(default_idx, seconds);
+  }
+
   while (static_cast<int>(result.history.size()) < options.num_trials &&
          static_cast<int64_t>(visited.size()) < space_size) {
     int want = std::min(options.batch_size,
@@ -290,16 +453,10 @@ TuneResult Tune(TuningTask* task, TunerKind kind, const TuneOptions& options) {
     if (batch.empty()) {
       break;
     }
-    std::vector<double> seconds = MeasureBatch(task, batch, options.pool);
+    std::vector<double> seconds = MeasureBatch(task, batch, options);
     for (size_t i = 0; i < batch.size(); ++i) {
       record(batch[i], seconds[i]);
-      if (kind == TunerKind::kGenetic) {
-        population.emplace_back(batch[i], seconds[i]);
-      }
-      if (kind == TunerKind::kMlBased) {
-        train_x.push_back(task->Features(batch[i]));
-        train_y.push_back(-std::log(std::max(seconds[i], 1e-12)));
-      }
+      learn(batch[i], seconds[i]);
     }
     if (kind == TunerKind::kGenetic) {
       std::sort(population.begin(), population.end(),
@@ -311,6 +468,20 @@ TuneResult Tune(TuningTask* task, TunerKind kind, const TuneOptions& options) {
     if (kind == TunerKind::kMlBased) {
       model.Fit(train_x, train_y);  // periodic refit on all collected data
     }
+  }
+  return result;
+}
+
+TuneResult TuneToCache(TuningTask* task, TunerKind kind, const TuneOptions& options,
+                       TuningCache* cache) {
+  TuneResult result = Tune(task, kind, options);
+  if (cache != nullptr && result.best_config >= 0) {
+    TuningCacheEntry entry;
+    entry.key = task->CacheKey();
+    entry.config = task->space().At(result.best_config);
+    entry.seconds = result.best_seconds;
+    entry.trials = static_cast<int>(result.history.size());
+    cache->Put(std::move(entry));
   }
   return result;
 }

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/autotune/cache.h"
 #include "src/sim/machine.h"
 
 namespace tvmcpp {
@@ -110,12 +111,43 @@ void CompiledGraph::Compile() {
         wl_ptr = &wl;
         workloads_.push_back(wl);
         topi::ConfigSpace space = topi::GetScheduleSpace(wl, target_);
+        // Config precedence, lowest to highest: untuned default < inherited
+        // (Rebatched's base-model choices) < persistent tuning cache < explicit
+        // `tuned`. Every source instantiates the same template with different
+        // knob values — CPU templates never split reduction axes, so the choice
+        // changes performance, never results.
         config = topi::DefaultConfig(space);
+        bool from_cache = false;
+        if (options_.inherited != nullptr) {
+          auto it = options_.inherited->find(wl.Key());
+          if (it != options_.inherited->end()) {
+            config = it->second;
+          }
+        }
+        if (options_.use_tuning_cache) {
+          autotune::TuningCacheEntry entry;
+          if (autotune::GlobalTuningCache().Lookup(
+                  autotune::TuningKey(wl, target_, options_.specialize), &entry)) {
+            topi::Config validated;
+            if (autotune::ApplyCachedConfig(space, entry.config, &validated)) {
+              config = std::move(validated);
+              from_cache = true;
+            } else {
+              LOG(WARNING) << "tuning-cache entry for " << wl.Key()
+                           << " no longer fits the schedule space; using untuned"
+                              " fallback";
+            }
+          }
+        }
         if (options_.tuned != nullptr) {
           auto it = options_.tuned->find(wl.Key());
           if (it != options_.tuned->end()) {
             config = it->second;
+            from_cache = false;
           }
+        }
+        if (from_cache) {
+          ++cache_tuned_kernels_;
         }
         // Remembered for Rebatched(): batched variants must inherit these exact
         // configs rather than re-derive defaults from the batched workload, so the
@@ -171,31 +203,34 @@ void CompiledGraph::SetParam(const std::string& name, const NDArray& value) {
 }
 
 std::shared_ptr<CompiledGraph> CompiledGraph::Rebatched(int factor) const {
-  // The batched variant reuses this model's schedule configs, remapped to the
+  // The batched variant inherits this model's schedule configs, remapped to the
   // batched workload keys (batch-1 tile choices stay valid: their divisors divide
   // the scaled n too). Re-deriving DefaultConfig from the batched workload would
   // pick different tilings — e.g. dense tile_y > 1 — changing per-row code for no
   // benefit and costing per-row performance in the small-kernel regime batching
-  // exists to amortize.
-  TunedConfigs tuned;
+  // exists to amortize. The remap rides in `inherited`, not `tuned`: the compile
+  // consults the persistent tuning cache *above* it, so a batch-N workload the
+  // fleet has tuned gets its own schedule instead of the batch-1 hand-me-down.
+  TunedConfigs inherited;
   for (const topi::OpWorkload& wl : workloads_) {
     auto it = chosen_configs_.find(wl.Key());
     if (it != chosen_configs_.end()) {
       topi::OpWorkload batched_wl = wl;
       batched_wl.n *= factor;
-      tuned[batched_wl.Key()] = it->second;
+      inherited[batched_wl.Key()] = it->second;
     }
   }
   // graph_ is the post-AlterLayout graph when enable_layout was on, so the variant
   // must not run the layout pass a second time.
   CompileOptions options = options_;
   options.enable_layout = false;
-  options.tuned = &tuned;
+  options.tuned = nullptr;  // explicit configs were keyed for this batch, not N
+  options.inherited = &inherited;
   auto batched = std::make_shared<CompiledGraph>(RebatchGraph(graph_, factor),
                                                  target_, options);
-  // `tuned` is only read during Compile() (in the constructor above); null the
-  // pointer so the stored options never dangle into this stack frame.
-  batched->options_.tuned = nullptr;
+  // `inherited` is only read during Compile() (in the constructor above); null
+  // the pointer so the stored options never dangle into this stack frame.
+  batched->options_.inherited = nullptr;
   // RebatchGraph preserves node ids, so the id-keyed weight bindings transfer
   // directly; the NDArrays themselves are shared (read-only at run time).
   batched->params_ = params_;

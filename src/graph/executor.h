@@ -34,7 +34,19 @@ struct CompileOptions {
   bool enable_fusion = true;       // graph-level operator fusion (Section 3)
   bool enable_fold = true;         // constant folding
   bool enable_layout = false;      // layout transformation (CPU)
+  // Explicit per-workload configs; wins over every other config source.
   const TunedConfigs* tuned = nullptr;
+  // Consult the process-wide persistent tuning cache (autotune::GlobalTuningCache,
+  // loaded from TVMCPP_TUNE_CACHE) for each master workload at lowering time.
+  // The lookup key includes the workload's batch dimension, so a Rebatched()
+  // variant's batch-N kernels find their own tuned schedules when the fleet has
+  // tuned them. Misses (or entries that no longer fit the schedule space) fall
+  // back to `inherited`, then to the untuned default config.
+  bool use_tuning_cache = true;
+  // Fallback configs consulted *below* the tuning cache: Rebatched() passes the
+  // base model's chosen configs remapped to batch-N keys here, so batch variants
+  // keep the base schedules unless the cache knows something batch-specific.
+  const TunedConfigs* inherited = nullptr;
   // VM loop-specialization config used when compiling each fused kernel's bytecode
   // program. Carried by value so Rebatched() variants inherit the base model's
   // setting — batched rows get the same unroll/hoist treatment (notably the hoisted
@@ -98,6 +110,12 @@ class CompiledGraph {
   const Graph& graph() const { return graph_; }
   // The master workloads encountered (for tuning ahead of compilation).
   const std::vector<topi::OpWorkload>& workloads() const { return workloads_; }
+  // Schedule config actually used per workload key (explicit, cached, inherited,
+  // or default), for tests and for Rebatched() inheritance.
+  const TunedConfigs& chosen_configs() const { return chosen_configs_; }
+  // Kernels whose schedule came from the persistent tuning cache (as opposed to
+  // an explicit `tuned` entry, an inherited config, or the untuned default).
+  int num_cache_tuned_kernels() const { return cache_tuned_kernels_; }
   int NodeIdOf(const std::string& name) const;
 
  private:
@@ -127,8 +145,10 @@ class CompiledGraph {
   std::vector<Kernel> kernels_;
   std::vector<topi::OpWorkload> workloads_;
   // Schedule config actually used per workload key (tuned or default) — inherited
-  // verbatim by Rebatched() variants so batching never changes per-row schedules.
+  // verbatim by Rebatched() variants so batching never changes per-row schedules
+  // unless the tuning cache holds a batch-specific entry.
   TunedConfigs chosen_configs_;
+  int cache_tuned_kernels_ = 0;
   std::unordered_map<int, NDArray> params_;  // weights shared by all RunContexts
   std::unordered_map<std::string, int> name_to_node_;
 };

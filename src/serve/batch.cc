@@ -58,12 +58,22 @@ std::shared_ptr<const graph::CompiledGraph> BatchedModelCache::Get(int factor) {
                   "output " + std::to_string(i));
   }
   by_factor_.emplace(factor, batched);
+  if (batched->num_cache_tuned_kernels() > 0) {
+    // The variant's compile found batch-N entries in the persistent tuning
+    // cache — the lazily compiled batch schedule is tuned, not inherited.
+    ++tuned_compiled_;
+  }
   return batched;
 }
 
 int BatchedModelCache::num_compiled() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(by_factor_.size());
+}
+
+int BatchedModelCache::num_tuned_compiled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tuned_compiled_;
 }
 
 bool ShapesCoalesce(const NamedTensors& a, const NamedTensors& b) {

@@ -14,6 +14,13 @@
 //     Per-request results are bitwise-identical to batch-1 runs because batching
 //     only widens the outermost (batch) loop extent — the FP operation order per
 //     output element is unchanged.
+//
+// Batch variants and the tuning cache: Rebatched() compiles each variant with the
+// batch-N workload keys, so the persistent tuning cache (TVMCPP_TUNE_CACHE; see
+// src/autotune/cache.h) is consulted per batch size — a variant whose batch-N key
+// hits gets its own tuned schedule, otherwise it inherits the base model's
+// configs. Either way per-request results stay bitwise-identical (schedule
+// configs never change reduction order). num_tuned_compiled() counts the hits.
 #ifndef SRC_SERVE_BATCH_H_
 #define SRC_SERVE_BATCH_H_
 
@@ -61,11 +68,20 @@ class BatchedModelCache {
   // Number of distinct batched variants compiled so far (excluding factor 1).
   int num_compiled() const;
 
+  // Of those, how many picked at least one schedule from the persistent tuning
+  // cache (TVMCPP_TUNE_CACHE): the batch-N workload key — batch dimension
+  // included — hit an entry tuned for that exact batch size, instead of
+  // inheriting the base model's batch-1 config. This is the serving half of the
+  // tuning loop: a fleet that tunes the batch sizes its traffic actually
+  // produces sees this counter grow as variants lazily compile.
+  int num_tuned_compiled() const;
+
  private:
   std::shared_ptr<const graph::CompiledGraph> base_;
   Builder builder_;
   mutable std::mutex mu_;
   std::unordered_map<int, std::shared_ptr<const graph::CompiledGraph>> by_factor_;
+  int tuned_compiled_ = 0;
 };
 
 // True when two requests are shape-compatible for coalescing: same input names,

@@ -21,7 +21,12 @@ class InternalError : public std::runtime_error {
 
 class LogMessage {
  public:
-  LogMessage(const char* file, int line) { stream_ << "[" << file << ":" << line << "] "; }
+  LogMessage(const char* file, int line, const char* tag = nullptr) {
+    stream_ << "[" << file << ":" << line << "] ";
+    if (tag != nullptr) {
+      stream_ << tag << ": ";
+    }
+  }
   ~LogMessage() { std::cerr << stream_.str() << std::endl; }
   std::ostringstream& stream() { return stream_; }
 
@@ -42,6 +47,9 @@ class LogFatal {
 }  // namespace tvmcpp
 
 #define LOG_INFO ::tvmcpp::LogMessage(__FILE__, __LINE__).stream()
+// Recoverable-degradation notices (e.g. a corrupt tuning cache falling back to
+// untuned schedules): logged and carried on, unlike LOG(FATAL) which throws.
+#define LOG_WARNING ::tvmcpp::LogMessage(__FILE__, __LINE__, "warning").stream()
 #define LOG_FATAL ::tvmcpp::LogFatal(__FILE__, __LINE__).stream()
 #define LOG(severity) LOG_##severity
 

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Tuning-loop smoke gate (CI): proves the persistent tuning cache round-trips
+# between processes and that tuned schedules are never slower than untuned.
+#
+# Phase A runs bench_tune in reduced-size mode with real measurement: it tunes a
+# dense, a conv2d, and a batch-4 dense workload, writes TVMCPP_TUNE_CACHE, and
+# reports untuned-vs-tuned wall-clock rows. Phase B is a *fresh process* with
+# TVMCPP_TUNE_CONSUME=1: no tuning, only loading the phase-A cache file and
+# compiling through it — its tune_cache_stats row must show cache_hits > 0 (the
+# cache one job wrote is actually consumed by another) and every speedup field in
+# both phases must stay >= the floor (same sanity gate as tools/bench_smoke.sh:
+# shared runners are noisy, so the claim is "tuned is not slower", not a perf bar).
+#
+# Usage: tune_smoke.sh [BUILD_DIR]
+set -u
+
+build_dir="${1:-build}"
+if [ ! -x "$build_dir/bench_tune" ]; then
+  echo "tune-smoke: $build_dir/bench_tune not found (build first)"
+  exit 2
+fi
+tools_dir="$(dirname "$0")"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cache="$workdir/tune_cache.json"
+json_a="$workdir/bench_tune_a.json"
+json_b="$workdir/bench_tune_b.json"
+
+echo "=== tune-smoke phase A: tune + write cache ==="
+if ! TVMCPP_BENCH_SMOKE=1 TVMCPP_TUNE_CACHE="$cache" TVMCPP_BENCH_JSON="$json_a" \
+    "$build_dir/bench_tune"; then
+  echo "tune-smoke: phase A (tuning) failed"
+  exit 1
+fi
+if [ ! -s "$cache" ]; then
+  echo "tune-smoke: phase A did not write a cache file at $cache"
+  exit 1
+fi
+entries="$(grep -c '"key"' "$cache" || true)"
+if [ "$entries" -lt 3 ]; then
+  echo "tune-smoke: expected >= 3 cache entries (dense, conv2d, dense batch-4), got $entries"
+  exit 1
+fi
+echo "tune-smoke: cache holds $entries entries"
+
+echo "=== tune-smoke phase B: fresh process consumes the cache ==="
+if ! TVMCPP_BENCH_SMOKE=1 TVMCPP_TUNE_CACHE="$cache" TVMCPP_TUNE_CONSUME=1 \
+    TVMCPP_BENCH_JSON="$json_b" "$build_dir/bench_tune"; then
+  echo "tune-smoke: phase B (consume) failed"
+  exit 1
+fi
+hits="$(grep '"bench": "tune_cache_stats"' "$json_b" |
+  grep -oE '"cache_hits": *[0-9.eE+-]+' | sed 's/.*: *//')"
+if [ -z "$hits" ] || ! awk -v h="$hits" 'BEGIN { exit !(h + 0 > 0) }'; then
+  echo "tune-smoke: phase B cache_hits = '${hits:-missing}' (expected > 0): the cache written by phase A was not consulted"
+  exit 1
+fi
+echo "tune-smoke: phase B consumed the cache ($hits hits)"
+
+# tuned_variants proves the serving layer's lazily compiled batch variant found
+# its own batch-N entry rather than inheriting the batch-1 schedule.
+variants="$(grep '"bench": "tune_dense_batch4"' "$json_b" |
+  grep -oE '"tuned_variants": *[0-9.eE+-]+' | sed 's/.*: *//')"
+if [ -z "$variants" ] || ! awk -v v="$variants" 'BEGIN { exit !(v + 0 > 0) }'; then
+  echo "tune-smoke: batch-4 serving variant did not pick up its cache entry (tuned_variants = '${variants:-missing}')"
+  exit 1
+fi
+
+bash "$tools_dir/bench_smoke.sh" "$json_a" "$json_b" || exit 1
+echo "tune-smoke: OK"
+exit 0
