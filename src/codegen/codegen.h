@@ -1,0 +1,49 @@
+// Tier-2 AOT backend, part 1: TIR -> C pretty-printer.
+//
+// EmitC lowers a LoweredFunc body through the exact same preprocessing pipeline the
+// bytecode VM uses (SerializeThreadBlocks / VectorizeLoop / SpecializeLoops /
+// Simplify) and pretty-prints the result as a self-contained C function over the
+// interpreter's widened buffer layout (float16 stored as float, int8 as int8_t, ...):
+//
+//   void <symbol>(void** bufs);   // bufs[i] = args[i].data, positionally
+//
+// The emitted code mirrors the reference interpreter's value model statement by
+// statement — all float arithmetic in double, ints as int64_t, floor div/mod,
+// float16 rounded through the shared RNE grid on cast/store, Select/if_then_else
+// lazy, predicated lanes skipped, vector stores per lane in predicate -> index ->
+// value order — so a compiled kernel is bitwise-identical to the interpreter (and
+// therefore to the VM) on every non-trapping program. Constructs outside the
+// supported set (unknown intrinsics, Reduce, ...) mark the source not-ok and the
+// caller falls back down-tier, exactly like vm::CompileToProgram returning null.
+//
+// Part 2 (native.h) compiles emitted sources with the system compiler and dlopens
+// the result.
+#ifndef SRC_CODEGEN_CODEGEN_H_
+#define SRC_CODEGEN_CODEGEN_H_
+
+#include <string>
+
+#include "src/lower/lower.h"
+
+namespace tvmcpp {
+namespace codegen {
+
+// One emitted kernel: a C function definition (no includes; pairs with Preamble()).
+struct CSource {
+  std::string symbol;  // C function name, content-addressed (stable across runs)
+  std::string code;    // full function definition text
+  bool ok = false;
+  std::string error;   // first unsupported construct when !ok
+};
+
+// Shared helper block (types, floor div/mod, float16 RNE helpers, math wrappers)
+// that must precede any emitted function in a translation unit.
+const std::string& Preamble();
+
+// Emits `func` as C after the VM's preprocessing pipeline under `spec`.
+CSource EmitC(const LoweredFunc& func, const LoopSpecializeOptions& spec);
+
+}  // namespace codegen
+}  // namespace tvmcpp
+
+#endif  // SRC_CODEGEN_CODEGEN_H_

@@ -1,6 +1,7 @@
 #include "src/graph/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -8,6 +9,7 @@
 
 #include "src/autotune/cache.h"
 #include "src/sim/machine.h"
+#include "src/support/failpoint.h"
 
 namespace tvmcpp {
 namespace graph {
@@ -165,14 +167,33 @@ void CompiledGraph::Compile() {
     Kernel k;
     k.name = "fused_" + graph_.node(grp.nodes.back()).name;
     k.func = Lower(sch, args, k.name);
-    if (GetExecEngine() == ExecEngine::kVm) {
+    if (GetExecEngine() != ExecEngine::kInterp) {
       // Compiled once, reused by every Run(); loop specialization per the model's
       // (possibly inherited) CompileOptions rather than the process environment.
+      // Under the native engine this is the first fallback tier, so it is compiled
+      // eagerly too rather than lazily on the first native miss.
       k.program = vm::CompileToProgram(k.func, options_.specialize);
     }
     k.input_nodes = externals;
     k.output_node = grp.nodes.back();
     kernels_.push_back(std::move(k));
+  }
+
+  if (GetExecEngine() == ExecEngine::kNative) {
+    // Tier-2 AOT: all fused kernels are emitted into one C translation unit and
+    // compiled as a single .so (one compiler invocation per graph, one dlopen'd
+    // module kept alive by every kernel's shared_ptr). Kernels whose emission
+    // failed come back empty and fall down-tier at Run() time.
+    std::vector<const LoweredFunc*> funcs;
+    funcs.reserve(kernels_.size());
+    for (const Kernel& k : kernels_) {
+      funcs.push_back(&k.func);
+    }
+    std::vector<codegen::NativeKernel> native =
+        codegen::CompileNativeKernels(funcs, options_.specialize);
+    for (size_t i = 0; i < kernels_.size() && i < native.size(); ++i) {
+      kernels_[i].native = native[i];
+    }
   }
 }
 
@@ -249,7 +270,22 @@ void CompiledGraph::Run(RunContext* ctx, const vm::ExecOptions& exec) const {
     CHECK(pit != params_.end()) << "unbound graph buffer " << graph_.node(id).name;
     return pit->second;
   };
+  // One coherent engine choice for the whole request, even if a test flips the
+  // process-wide slot mid-run.
+  const ExecEngine engine = GetExecEngine();
+  size_t ki = 0;
   for (const Kernel& k : kernels_) {
+    if (ki++ > 0) {
+      // Mid-run cancellation seam: a request popped just before its deadline must
+      // not run the remaining kernels to completion once the budget is gone. The
+      // failpoint sits before the check so fault tests can delay here and observe
+      // the cancellation fire.
+      FAILPOINT("graph.kernel");
+      if (exec.deadline != std::chrono::steady_clock::time_point::max() &&
+          std::chrono::steady_clock::now() >= exec.deadline) {
+        throw DeadlineExceededError("deadline exceeded before kernel " + k.name);
+      }
+    }
     std::vector<BufferBinding> bindings;
     for (int id : k.input_nodes) {
       bindings.push_back(buffer_of(id).Binding());
@@ -262,16 +298,24 @@ void CompiledGraph::Run(RunContext* ctx, const vm::ExecOptions& exec) const {
       RunLoweredInterp(k.func, bindings);
       continue;
     }
-    if (k.program != nullptr && GetExecEngine() == ExecEngine::kVm) {
-      vm::Run(*k.program, bindings, exec);
-    } else {
-      if (GetExecEngine() == ExecEngine::kVm) {
-        // VM engine selected but the kernel failed to compile: record the silent
-        // downgrade (fatal under TVMCPP_VM_STRICT=1), same as RunLowered.
-        vm::NoteFallback(k.func.name);
+    if (engine == ExecEngine::kNative) {
+      if (k.native) {
+        codegen::RunNativeKernel(k.native, bindings);
+        continue;
       }
-      RunLoweredInterp(k.func, bindings);
+      // Native engine selected but the kernel failed to emit/compile: record the
+      // silent downgrade (fatal under TVMCPP_VM_STRICT=1) and try the VM tier.
+      vm::NoteFallback(k.func.name);
     }
+    if (engine != ExecEngine::kInterp) {
+      if (k.program != nullptr) {
+        vm::Run(*k.program, bindings, exec);
+        continue;
+      }
+      // VM tier unavailable too: one more counted downgrade to the interpreter.
+      vm::NoteFallback(k.func.name);
+    }
+    RunLoweredInterp(k.func, bindings);
   }
 }
 

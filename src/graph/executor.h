@@ -13,11 +13,13 @@
 #define SRC_GRAPH_EXECUTOR_H_
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/codegen/native.h"
 #include "src/graph/graph.h"
 #include "src/lower/lower.h"
 #include "src/runtime/ndarray.h"
@@ -55,6 +57,16 @@ struct CompileOptions {
 };
 
 class CompiledGraph;
+
+// Thrown by CompiledGraph::Run when vm::ExecOptions::deadline passes between kernel
+// invocations: a request popped just before its deadline stops after the current
+// kernel instead of running the remaining graph to completion. The serving layer
+// maps it to StatusCode::kDeadlineExceeded (no retry — the budget is already gone).
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 // Per-request mutable state: one buffer per materialized node, with intermediates
 // sharing storage tokens per the memory plan. Construction is cheap relative to
@@ -124,8 +136,13 @@ class CompiledGraph {
   struct Kernel {
     LoweredFunc func;
     // Bytecode program compiled once at graph-compile time; null when the VM cannot
-    // compile the kernel (it then runs on the reference interpreter).
+    // compile the kernel (it then runs on the reference interpreter). Also compiled
+    // under the native engine, as that engine's first fallback tier.
     std::shared_ptr<const vm::Program> program;
+    // Tier-2 AOT kernel (src/codegen), compiled once at graph-compile time when the
+    // native engine is selected; empty when emission or compilation failed (the
+    // kernel then falls down-tier to `program`, then to the interpreter).
+    codegen::NativeKernel native;
     std::vector<int> input_nodes;  // graph node ids bound to func args (last = output)
     int output_node = -1;
     std::string name;

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/codegen/native.h"
 #include "src/ir/functor.h"
 #include "src/ir/intrin_table.h"
 #include "src/ir/printer.h"
@@ -453,6 +454,9 @@ std::atomic<ExecEngine>& EngineSlot() {
     if (s != nullptr && std::string(s) == "interp") {
       return ExecEngine::kInterp;
     }
+    if (s != nullptr && std::string(s) == "native") {
+      return ExecEngine::kNative;
+    }
     return ExecEngine::kVm;
   }();
   return engine;
@@ -466,7 +470,16 @@ void SetExecEngine(ExecEngine engine) {
 ExecEngine GetExecEngine() { return EngineSlot().load(std::memory_order_relaxed); }
 
 void RunLowered(const LoweredFunc& func, const std::vector<BufferBinding>& args) {
-  if (GetExecEngine() == ExecEngine::kVm) {
+  ExecEngine engine = GetExecEngine();
+  if (engine == ExecEngine::kNative) {
+    if (codegen::RunLoweredNative(func, args)) {
+      return;
+    }
+    // Native emit/compile failure: down-tier to the VM. Counted (and fatal under
+    // TVMCPP_VM_STRICT=1) like any other silent engine downgrade.
+    vm::NoteFallback(func.name);
+  }
+  if (engine != ExecEngine::kInterp) {
     if (vm::RunLoweredVM(func, args)) {
       return;
     }

@@ -26,10 +26,12 @@ struct BufferBinding {
 
 // Which engine RunLowered dispatches to. The bytecode VM (src/vm) is the default; the
 // tree-walking interpreter remains the reference semantics and the fallback for
-// programs the VM cannot compile. Overridable via env TVMCPP_ENGINE=interp|vm.
+// programs the VM cannot compile; kNative (src/codegen) is the AOT tier-2 backend,
+// which falls back down-tier native -> VM -> interp per function. Overridable via
+// env TVMCPP_ENGINE=vm|interp|native.
 // The slot is atomic: concurrent serving threads may read it while a test flips it,
 // and each Run observes one coherent value (see src/vm/README.md, "Concurrency").
-enum class ExecEngine { kVm, kInterp };
+enum class ExecEngine { kVm, kInterp, kNative };
 void SetExecEngine(ExecEngine engine);
 ExecEngine GetExecEngine();
 

@@ -371,13 +371,21 @@ class Simplifier : public StmtMutator {
     if (fa != nullptr && fb != nullptr) {
       return FoldFloat(kind, fa->value, fb->value, a->dtype);
     }
+    // Zero-absorbing identities are exact only for integers: in IEEE arithmetic
+    // x + 0.0 flips -0.0 to +0.0, x * 0.0 keeps x's sign on the zero (and makes
+    // NaN from Inf), 0.0 / x is -0.0 for negative x, and x - x is NaN for
+    // non-finite x. Folding any of those would diverge bitwise from the
+    // unsimplified tree the reference interpreter evaluates, so for floats only
+    // the exact identities (x * 1, x / 1, x - 0 with +0) survive.
+    const bool is_float = a->dtype.is_float();
     switch (kind) {
       case ExprKind::kAdd:
       case ExprKind::kSub: {
-        if (kind == ExprKind::kAdd && is_zero(a)) {
+        if (kind == ExprKind::kAdd && is_zero(a) && !is_float) {
           return b;
         }
-        if (is_zero(b)) {
+        if (is_zero(b) && (!is_float || (kind == ExprKind::kSub && fb != nullptr &&
+                                         !std::signbit(fb->value)))) {
           return a;
         }
         if (BothInt(a, b)) {
@@ -389,13 +397,13 @@ class Simplifier : public StmtMutator {
           LinearizeInto(b, kind == ExprKind::kAdd ? 1 : -1, &terms, &konst);
           return RebuildLinear(terms, konst, a->dtype);
         }
-        if (kind == ExprKind::kSub && StructuralEqual(a, b)) {
+        if (kind == ExprKind::kSub && !is_float && StructuralEqual(a, b)) {
           return make_zero(a->dtype);
         }
         break;
       }
       case ExprKind::kMul:
-        if (is_zero(a) || is_zero(b)) {
+        if ((is_zero(a) || is_zero(b)) && !is_float) {
           return make_zero(a->dtype);
         }
         if (is_one(a)) {
@@ -420,7 +428,7 @@ class Simplifier : public StmtMutator {
         if (is_one(b)) {
           return a;
         }
-        if (is_zero(a)) {
+        if (is_zero(a) && !is_float) {
           return a;
         }
         if (ib != nullptr && ib->value > 0 && BothInt(a, b)) {

@@ -102,8 +102,12 @@ bool StructuralEqual(const Expr& a, const Expr& b) {
     case ExprKind::kLoad: {
       const auto* la = static_cast<const LoadNode*>(a.get());
       const auto* lb = static_cast<const LoadNode*>(b.get());
+      // The predicate is part of the value: two same-address loads with
+      // complementary lane masks yield different vectors, and conflating them
+      // lets select(c, t, f) fold to the wrong arm after load masking.
       return la->buffer_var.get() == lb->buffer_var.get() &&
-             StructuralEqual(la->index, lb->index);
+             StructuralEqual(la->index, lb->index) &&
+             StructuralEqual(la->predicate, lb->predicate);
     }
     case ExprKind::kRamp: {
       const auto* ra = static_cast<const RampNode*>(a.get());

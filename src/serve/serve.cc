@@ -415,6 +415,10 @@ InferenceResponse InferenceServer::RunOneWithRetry(const Pending& p,
     const bool fallback = attempt >= vm_attempts;
     vm::ExecOptions attempt_exec = exec;
     attempt_exec.force_interp = fallback;
+    // Mid-run cancellation: CompiledGraph::Run checks this between kernels, so a
+    // request that crosses its deadline mid-graph stops instead of running the
+    // remaining kernels to completion.
+    attempt_exec.deadline = p.deadline;
     // Deterministic fault stream per (request, attempt): the same seed and
     // armed spec reproduce the same faults, and a retry draws a fresh stream
     // instead of deterministically re-hitting a probabilistic fault.
@@ -440,6 +444,11 @@ InferenceResponse InferenceServer::RunOneWithRetry(const Pending& p,
       }
       resp.status = Status{};
       resp.fell_back = fallback;
+      return resp;
+    } catch (const graph::DeadlineExceededError& e) {
+      // Cancelled between kernels: the budget is already gone, so retrying (or
+      // down-tiering to the slower interpreter) could never finish in time.
+      resp.status = {StatusCode::kDeadlineExceeded, e.what()};
       return resp;
     } catch (const std::exception& e) {
       // InjectedFault and InternalError (CHECK failures) both land here: real

@@ -2635,8 +2635,8 @@ void NoteFallback(const std::string& func_name) {
   g_fallback_count.fetch_add(1, std::memory_order_relaxed);
   if (StrictMode()) {
     LOG(FATAL) << "TVMCPP_VM_STRICT: " << func_name
-               << " fell back to the interpreter (VM compile failed); see the "
-                  "preceding vm log line for the unsupported construct";
+               << " silently fell back down-tier (native or VM compile failed); see "
+                  "the preceding log line for the unsupported construct";
   }
 }
 

@@ -15,6 +15,7 @@
 #ifndef SRC_VM_VM_H_
 #define SRC_VM_VM_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -74,6 +75,12 @@ struct ExecOptions {
   // chunk futures helps drain the pool (ThreadPool::TryRunOne), so submitting from a
   // pool worker cannot deadlock.
   ThreadPool* pool = nullptr;
+  // Mid-run cancellation deadline, honored by graph::CompiledGraph::Run between
+  // kernel invocations (throws graph::DeadlineExceededError once passed, bounding
+  // tail work for requests popped just before their deadline). The per-kernel
+  // engines themselves do not poll it. max() = no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 // Executes a compiled program with `args` bound positionally to the function arguments.

@@ -55,10 +55,11 @@ struct ScopedStrictMode {
   ~ScopedStrictMode() { vm::SetStrictMode(saved); }
 };
 
-// Tests that fault the VM tier specifically (vm.run) need a VM tier to exist:
-// under TVMCPP_ENGINE=interp every kernel already runs on the interpreter and
-// the fail-point is never reached.
-bool NoVmTier() { return GetExecEngine() == ExecEngine::kInterp; }
+// Tests that fault the VM tier specifically (vm.run) need the VM to be the
+// executing tier: under TVMCPP_ENGINE=interp every kernel already runs on the
+// interpreter, and under TVMCPP_ENGINE=native compiled kernels run in the
+// dlopen'd module — either way the vm.run fail-point is never reached.
+bool NoVmTier() { return GetExecEngine() != ExecEngine::kVm; }
 
 // Same conv+relu chain as test_serve.cc: several fused kernels, recycled
 // intermediate storage, batch-covariant input — recovery bugs corrupt visibly.
@@ -464,6 +465,53 @@ TEST(Faults, DeadlineExpiredInQueueIsTyped) {
   EXPECT_EQ(s.deadline_missed, 1);
   EXPECT_EQ(s.per_class[0].deadline_missed, 1);
   EXPECT_EQ(s.completed, 3) << "a missed deadline still completes its future";
+}
+
+TEST(Faults, MidRunDeadlineCancelsBetweenKernels) {
+  // Regression for the latent gap: a request popped just before its deadline used
+  // to run every remaining kernel to completion. CompiledGraph::Run now checks
+  // the deadline between kernel invocations and aborts the rest of the graph.
+  ScopedFailpoints guard;
+  std::shared_ptr<graph::CompiledGraph> model = MakeChainModel(61);
+  ASSERT_GE(model->num_kernels(), 2) << "needs a between-kernels seam to test";
+  graph::RunContext ctx(model);
+  ctx.SetInput("data", ChainInput(4));
+  vm::ExecOptions exec;
+  exec.deadline = std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_THROW(model->Run(&ctx, exec), graph::DeadlineExceededError);
+  // The default (no deadline) must stay inert.
+  graph::RunContext ok_ctx(model);
+  ok_ctx.SetInput("data", ChainInput(4));
+  EXPECT_NO_THROW(model->Run(&ok_ctx));
+}
+
+TEST(Faults, MidRunDeadlineIsTypedAtServe) {
+  ScopedFailpoints guard;
+  // The graph.kernel delay fires between the first and second kernel, pushing the
+  // request past its deadline mid-graph: it must come back kDeadlineExceeded from
+  // the cancellation seam (not from pop-time enforcement — pinned by the fire
+  // count and the error message), with no retry or interpreter down-tier (the
+  // budget is already gone).
+  ASSERT_TRUE(fp::ArmSpec("graph.kernel=delay(600)*1"));
+  std::shared_ptr<graph::CompiledGraph> model = MakeChainModel(67);
+  serve::ServerOptions options;
+  options.num_workers = 1;
+  options.enable_shedding = 0;  // isolate the mid-run seam from admission control
+  options.max_retries = 2;
+  serve::InferenceServer server(options);
+  serve::InferenceRequest req;
+  req.inputs["data"] = ChainInput(6);
+  req.deadline_ms = 500;  // outlives queueing and the first kernel, not the delay
+  serve::InferenceResponse resp = server.Submit(model, std::move(req)).get();
+  EXPECT_EQ(resp.status.code, serve::StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(resp.outputs.empty());
+  EXPECT_NE(resp.status.message.find("before kernel"), std::string::npos)
+      << "must be the mid-run cancellation, not pop-time enforcement: "
+      << resp.status.message;
+  EXPECT_EQ(fp::FireCount("graph.kernel"), 1);
+  EXPECT_EQ(resp.retries, 0) << "an exceeded deadline must not be retried";
+  serve::ServerStats s = server.stats();
+  EXPECT_EQ(s.deadline_missed, 1);
 }
 
 TEST(Faults, PriorityClassPopsBeforeFifo) {

@@ -7,9 +7,11 @@
 # replaced". Benches run in reduced-size mode (TVMCPP_BENCH_SMOKE=1) so the whole
 # step takes seconds. Checked fields are any JSON key containing "speedup"
 # (vm_speedup's `speedup`, the vectorize rows' `vec_speedup`, bench_specialize's
-# `spec_speedup`). Thread-scaling ratios (`scaling_4t`) never match the key
-# pattern, and the serving benches (whose speedups depend on core count) are not
-# part of the smoke run.
+# `spec_speedup`, bench_codegen's `native_speedup_vs_vm` /
+# `native_speedup_vs_interp` / `cache_hit_speedup` — so the AOT native tier is
+# gated to never run slower than the VM it sits above). Thread-scaling ratios
+# (`scaling_4t`) never match the key pattern, and the serving benches (whose
+# speedups depend on core count) are not part of the smoke run.
 #
 # Usage: bench_smoke.sh BENCH_JSON_FILE... [--floor X]
 set -u
