@@ -80,11 +80,43 @@ void TuningTask::EnsureArgBuffers(const LoweredFunc& func) {
   // placeholders + output, in Lower() argument order), so one set of buffers
   // serves all trials. Inputs are deterministic per task seed: trials rank
   // configs on identical data.
+  //
+  // sparse_dense measurement buffers: random values are fine for x/w_data, but
+  // w_indices and w_indptr drive address computation inside the kernel, so they
+  // must describe a real CSR matrix (monotone indptr summing to nnz, ascending
+  // in-bounds columns) or the measured kernel would gather out of bounds. A
+  // deterministic valid structure matching the workload's (oc, k, nnz,
+  // max_row_nnz) stands in for real pruned weights; args arrive in
+  // BuildOpCompute order [x, w_data, w_indices, w_indptr, out].
+  bool sparse = wl_.kind == "sparse_dense";
   for (size_t i = 0; i < func.args.size(); ++i) {
     const BufferArg& arg = func.args[i];
     NDArray nd = (i + 1 == func.args.size())
                      ? NDArray::Empty(arg.shape, arg.dtype)
                      : NDArray::Random(arg.shape, arg.dtype, seed_ * 7919 + i);
+    if (sparse && (i == 2 || i == 3)) {
+      nd = NDArray::Empty(arg.shape, arg.dtype);
+      int32_t* p = nd.Data<int32_t>();
+      // Spread nnz as evenly as rows allow, capped by the declared ELL bound.
+      int64_t oc = wl_.oc, remaining = wl_.nnz, at = 0;
+      for (int64_t r = 0; r < oc; ++r) {
+        int64_t want = (wl_.nnz + oc - 1) / oc;
+        int64_t len = std::min({want, remaining, wl_.max_row_nnz,
+                                static_cast<int64_t>(wl_.k)});
+        if (i == 2) {  // w_indices: the first `len` columns, ascending
+          for (int64_t c = 0; c < len; ++c) {
+            p[at + c] = static_cast<int32_t>(c);
+          }
+        } else {  // w_indptr
+          p[r] = static_cast<int32_t>(at);
+        }
+        at += len;
+        remaining -= len;
+      }
+      if (i == 3) {
+        p[oc] = static_cast<int32_t>(at);
+      }
+    }
     arg_arrays_.push_back(nd);
     arg_bindings_.push_back(nd.Binding());
   }

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/runtime/csr.h"
+
 namespace tvmcpp {
 namespace frontend {
 
@@ -204,6 +206,64 @@ Model LstmLanguageModel(int num_steps, int hidden, int batch) {
     x = hnew;
   }
   m.graph.outputs = {h};
+  return m;
+}
+
+namespace {
+
+// The pruned weight both SparseMlp variants share: dense random values, then
+// elementwise pruning. The dense reference keeps the zeros in place; the sparse
+// model compresses them away — same surviving values in the same positions.
+NDArray PrunedWeight(int64_t rows, int64_t cols, double sparsity, uint64_t seed) {
+  NDArray w = NDArray::Random({rows, cols}, DataType::Float32(), seed);
+  runtime::SparsifyDense(&w, sparsity, seed ^ 0x9e3779b97f4a7c15ull);
+  return w;
+}
+
+int SparseDenseLayer(Model* m, int x, const std::string& name, int64_t in_dim,
+                     int64_t out_dim, double sparsity, uint64_t seed) {
+  runtime::CSRMatrix csr =
+      runtime::CSRMatrix::FromDense(PrunedWeight(out_dim, in_dim, sparsity, seed));
+  int wd = m->graph.AddConst(name + "_w_data", csr.data.shape());
+  int wi =
+      m->graph.AddConst(name + "_w_indices", csr.indices.shape(), DataType::Int32());
+  int wp =
+      m->graph.AddConst(name + "_w_indptr", csr.indptr.shape(), DataType::Int32());
+  m->params[name + "_w_data"] = csr.data;
+  m->params[name + "_w_indices"] = csr.indices;
+  m->params[name + "_w_indptr"] = csr.indptr;
+  return m->graph.AddOp("sparse_dense", name, {x, wd, wi, wp},
+                        {{"nnz", csr.nnz}, {"max_row_nnz", csr.max_row_nnz}});
+}
+
+}  // namespace
+
+Model SparseMlp(int batch, int in_dim, int hidden, int classes, double sparsity) {
+  Model m;
+  m.input_shape = {batch, in_dim};
+  int data = m.graph.AddInput("data", m.input_shape);
+  int x = SparseDenseLayer(&m, data, "sfc1", in_dim, hidden, sparsity, 9100);
+  x = m.graph.AddOp("relu", "sfc1_relu", {x});
+  x = SparseDenseLayer(&m, x, "sfc2", hidden, classes, sparsity, 9200);
+  x = m.graph.AddOp("softmax", "prob", {x});
+  m.graph.outputs = {x};
+  return m;
+}
+
+Model SparseMlpDenseReference(int batch, int in_dim, int hidden, int classes,
+                              double sparsity) {
+  Model m;
+  m.input_shape = {batch, in_dim};
+  int data = m.graph.AddInput("data", m.input_shape);
+  int w1 = m.graph.AddConst("sfc1_w", {hidden, in_dim});
+  m.params["sfc1_w"] = PrunedWeight(hidden, in_dim, sparsity, 9100);
+  int x = m.graph.AddOp("dense", "sfc1", {data, w1});
+  x = m.graph.AddOp("relu", "sfc1_relu", {x});
+  int w2 = m.graph.AddConst("sfc2_w", {classes, hidden});
+  m.params["sfc2_w"] = PrunedWeight(classes, hidden, sparsity, 9200);
+  x = m.graph.AddOp("dense", "sfc2", {x, w2});
+  x = m.graph.AddOp("softmax", "prob", {x});
+  m.graph.outputs = {x};
   return m;
 }
 

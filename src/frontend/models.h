@@ -32,6 +32,19 @@ Model Dqn(int batch = 1);      // Nature DQN conv trunk (84x84x4 input)
 Model Dcgan(int batch = 1);    // DCGAN generator (100-d code -> 64x64 image)
 Model LstmLanguageModel(int num_steps = 4, int hidden = 650, int batch = 1);
 
+// A pruned two-layer MLP served as CSR sparse_dense ops:
+//   data [batch, in_dim] -> sparse_dense -> relu -> sparse_dense -> softmax.
+// Weights are dense random matrices pruned elementwise with probability
+// `sparsity` (deterministic per layer, batch-invariant), then compressed to CSR
+// const params (<name>_w_data / _w_indices / _w_indptr per layer).
+Model SparseMlp(int batch = 1, int in_dim = 128, int hidden = 128, int classes = 32,
+                double sparsity = 0.95);
+// The same pruned MLP with the zeros materialized back into ordinary dense ops —
+// the bitwise reference for the sparse path (identical weights, identical
+// reduction order on the surviving terms).
+Model SparseMlpDenseReference(int batch = 1, int in_dim = 128, int hidden = 128,
+                              int classes = 32, double sparsity = 0.95);
+
 // Compiles a frontend model for `target` with its parameters bound. Model builders
 // seed their random parameters deterministically per parameter name, so two builds
 // of the same model at different batch sizes carry bitwise-identical weights — which

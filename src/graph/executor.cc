@@ -38,6 +38,15 @@ topi::OpWorkload CompiledGraph::WorkloadOf(const Node& master) const {
     wl.oc = static_cast<int>(master.shape[1]);
     return wl;
   }
+  if (master.op == "sparse_dense") {
+    wl.n = static_cast<int>(data.shape[0]);
+    wl.k = static_cast<int>(data.shape[1]);
+    wl.oc = static_cast<int>(master.shape[1]);
+    wl.nnz = master.attrs.count("nnz") ? master.attrs.at("nnz") : 0;
+    wl.max_row_nnz =
+        master.attrs.count("max_row_nnz") ? master.attrs.at("max_row_nnz") : 0;
+    return wl;
+  }
   const Node& kernel = graph_.node(master.inputs[1]);
   wl.n = static_cast<int>(data.shape[0]);
   wl.ic = static_cast<int>(data.shape[1]);
@@ -108,7 +117,7 @@ void CompiledGraph::Compile() {
     if (grp.master >= 0) {
       const Node& mnode = graph_.node(grp.master);
       if (mnode.op == "conv2d" || mnode.op == "depthwise_conv2d" || mnode.op == "dense" ||
-          mnode.op == "conv2d_transpose") {
+          mnode.op == "sparse_dense" || mnode.op == "conv2d_transpose") {
         wl = WorkloadOf(mnode);
         wl_ptr = &wl;
         workloads_.push_back(wl);

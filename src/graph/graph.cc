@@ -9,6 +9,7 @@
 #include "src/interp/interp.h"
 #include "src/ir/simplify.h"
 #include "src/topi/nn.h"
+#include "src/topi/sparse.h"
 
 namespace tvmcpp {
 namespace graph {
@@ -83,6 +84,26 @@ std::unordered_map<std::string, OpInfo> BuildRegistry() {
       return 2.0 * out[0] * out[1] * in[0][1];
     };
     reg["dense"] = dense;
+
+    // CSR SpMM: inputs [x, w_data, w_indices, w_indptr] (the CSR arrays are const
+    // nodes shaped by src/runtime/csr.h), attrs {nnz, max_row_nnz}. The output
+    // width comes from the indptr length, so rebatching's re-inference only ever
+    // scales the batch row of in[0].
+    OpInfo sparse;
+    sparse.pattern = OpPattern::kComplexOutFusable;
+    sparse.infer_shape = [](const Shapes& in, const Attrs&) {
+      return std::vector<int64_t>{in[0][0], in[3][0] - 1};
+    };
+    sparse.build = [](const std::vector<Tensor>& in, const Attrs& a,
+                      const std::string& name) {
+      return topi::SparseDense(in[0], in[1], in[2], in[3],
+                               AttrOr(a, "max_row_nnz", 0), name);
+    };
+    sparse.flops = [](const Shapes&, const std::vector<int64_t>& out, const Attrs& a) {
+      return 2.0 * static_cast<double>(out[0]) *
+             static_cast<double>(AttrOr(a, "nnz", 0));
+    };
+    reg["sparse_dense"] = sparse;
 
     OpInfo dconv;
     dconv.pattern = OpPattern::kComplexOutFusable;

@@ -1,0 +1,182 @@
+// CSR sparse matrices over NDArray storage (the pruned-model workload side).
+//
+// A CSRMatrix carves one backing byte buffer into the three CSR arrays — indptr,
+// indices, data — as ShareStorage views (4-byte-aligned offsets; data last so any
+// element width fits). Column indices are ascending within each row, so an SpMM
+// that walks a row accumulates nonzero terms in the same k-ascending order as the
+// dense reference — the property the bitwise sparse-vs-dense differential in
+// tests/test_sparse.cc rests on.
+//
+// indices/data carry `max(1, max_row_nnz)` zero entries of tail padding past nnz
+// so the ELL-bounded SpMM compute (src/topi/sparse.h) may read position
+// `indptr[row] + p` for every p < max_row_nnz unguarded: out-of-row positions
+// land in the padding (value 0, column 0) and are selected away by the row-length
+// guard, but never read out of bounds — even when an engine evaluates both
+// arms of the guard (eager select, vector lanes).
+#ifndef SRC_RUNTIME_CSR_H_
+#define SRC_RUNTIME_CSR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/runtime/ndarray.h"
+#include "src/support/random.h"
+
+namespace tvmcpp {
+namespace runtime {
+
+// Padded allocation length of the indices/data arrays (see file comment).
+inline int64_t CsrAllocLen(int64_t nnz, int64_t max_row_nnz) {
+  return nnz + std::max<int64_t>(max_row_nnz, 1);
+}
+
+namespace csr_detail {
+
+// Element test/copy over the interpreter's widened storage (f16 stored as f32,
+// sub-byte ints as i8); `i` indexes elements of `a`'s own view.
+inline bool IsZeroAt(const NDArray& a, int64_t i) {
+  if (a.dtype().is_float()) {
+    return a.Data<float>()[i] == 0.0f;  // true for -0.0 too: -0 entries drop
+  }
+  if (InterpElementBytes(a.dtype()) == 1) {
+    return a.Data<int8_t>()[i] == 0;
+  }
+  return a.Data<int32_t>()[i] == 0;
+}
+
+inline void CopyElem(NDArray* dst, int64_t di, const NDArray& src, int64_t si) {
+  int64_t b = InterpElementBytes(src.dtype());
+  std::memcpy(dst->Data<char>() + di * b, src.Data<char>() + si * b,
+              static_cast<size_t>(b));
+}
+
+}  // namespace csr_detail
+
+struct CSRMatrix {
+  int64_t rows = 0, cols = 0;
+  int64_t nnz = 0;          // stored (nonzero) entries
+  int64_t max_row_nnz = 0;  // densest row: the ELL bound of the te compute
+  DataType dtype = DataType::Float32();
+  NDArray indptr;   // int32 [rows + 1], indptr[0] == 0, indptr[rows] == nnz
+  NDArray indices;  // int32 [CsrAllocLen(nnz, max_row_nnz)], ascending per row
+  NDArray data;     // dtype [CsrAllocLen(nnz, max_row_nnz)], zero past nnz
+
+  int64_t alloc_len() const { return CsrAllocLen(nnz, max_row_nnz); }
+
+  // Compresses a dense [rows, cols] matrix, dropping exact zeros. All three views
+  // share one freshly-allocated backing buffer.
+  static CSRMatrix FromDense(const NDArray& dense) {
+    CHECK_EQ(dense.shape().size(), 2u) << "CSRMatrix::FromDense wants a 2-D matrix";
+    CSRMatrix m;
+    m.rows = dense.shape()[0];
+    m.cols = dense.shape()[1];
+    m.dtype = dense.dtype();
+    for (int64_t r = 0; r < m.rows; ++r) {
+      int64_t row_nnz = 0;
+      for (int64_t c = 0; c < m.cols; ++c) {
+        row_nnz += csr_detail::IsZeroAt(dense, r * m.cols + c) ? 0 : 1;
+      }
+      m.nnz += row_nnz;
+      m.max_row_nnz = std::max(m.max_row_nnz, row_nnz);
+    }
+    m.AllocateViews();
+    int32_t* ip = m.indptr.Data<int32_t>();
+    int32_t* ix = m.indices.Data<int32_t>();
+    int64_t at = 0;
+    ip[0] = 0;
+    for (int64_t r = 0; r < m.rows; ++r) {
+      for (int64_t c = 0; c < m.cols; ++c) {
+        if (!csr_detail::IsZeroAt(dense, r * m.cols + c)) {
+          ix[at] = static_cast<int32_t>(c);
+          csr_detail::CopyElem(&m.data, at, dense, r * m.cols + c);
+          ++at;
+        }
+      }
+      ip[r + 1] = static_cast<int32_t>(at);
+    }
+    return m;
+  }
+
+  // Materializes the zeros back into a dense [rows, cols] matrix.
+  NDArray ToDense() const {
+    NDArray out = NDArray::Empty({rows, cols}, dtype);
+    const int32_t* ip = indptr.Data<int32_t>();
+    const int32_t* ix = indices.Data<int32_t>();
+    NDArray* mut = const_cast<NDArray*>(&out);
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int32_t p = ip[r]; p < ip[r + 1]; ++p) {
+        csr_detail::CopyElem(mut, r * cols + ix[p], data, p);
+      }
+    }
+    return out;
+  }
+
+  // Splits [0, rows) into `nblocks` contiguous row blocks with near-equal nnz
+  // (returned as nblocks+1 block-start rows). This is the load-balancing side of
+  // the row-blocked SpMM kernel: a kParallel loop over blocks does equal work per
+  // worker even when nonzeros cluster in a few rows, unlike an equal-rows split.
+  std::vector<int32_t> NnzBalancedRowBlocks(int nblocks) const {
+    CHECK_GE(nblocks, 1);
+    const int32_t* ip = indptr.Data<int32_t>();
+    std::vector<int32_t> starts(static_cast<size_t>(nblocks) + 1, 0);
+    int64_t r = 0;
+    for (int b = 1; b < nblocks; ++b) {
+      // First row where the nnz prefix reaches b/nblocks of the total (rows with
+      // no remaining nnz budget still advance, so starts stay non-decreasing and
+      // every row lands in exactly one block).
+      int64_t want = (nnz * b + nblocks - 1) / nblocks;
+      while (r < rows && ip[r] < want) {
+        ++r;
+      }
+      starts[static_cast<size_t>(b)] = static_cast<int32_t>(r);
+    }
+    starts[static_cast<size_t>(nblocks)] = static_cast<int32_t>(rows);
+    return starts;
+  }
+
+ private:
+  void AllocateViews() {
+    int64_t alloc = alloc_len();
+    int64_t indptr_bytes = (rows + 1) * 4;
+    int64_t indices_bytes = alloc * 4;
+    int64_t data_bytes = alloc * InterpElementBytes(dtype);
+    NDArray storage =
+        NDArray::Empty({indptr_bytes + indices_bytes + data_bytes}, DataType::Int8());
+    indptr = NDArray::ShareStorage(storage, {rows + 1}, DataType::Int32(), 0);
+    indices = NDArray::ShareStorage(storage, {alloc}, DataType::Int32(), indptr_bytes);
+    data = NDArray::ShareStorage(storage, {alloc}, dtype,
+                                 indptr_bytes + indices_bytes);
+  }
+};
+
+// Zeros each element of `dense` independently with probability `sparsity`
+// (deterministic in `seed`). The sparse builders and their dense bitwise
+// references share pruned weights through this: prune first, then either keep
+// the zeros (dense reference) or compress them away (CSRMatrix::FromDense).
+inline void SparsifyDense(NDArray* dense, double sparsity, uint64_t seed) {
+  Rng rng(seed);
+  int64_t n = dense->NumElements();
+  int64_t b = InterpElementBytes(dense->dtype());
+  for (int64_t i = 0; i < n; ++i) {
+    if (rng.UniformReal() < sparsity) {
+      std::memset(dense->Data<char>() + i * b, 0, static_cast<size_t>(b));
+    }
+  }
+}
+
+// A random pruned matrix in CSR form (valid indptr/indices by construction) —
+// used where real weight data is not at hand, e.g. the auto-tuner's measurement
+// buffers for sparse_dense workloads.
+inline CSRMatrix RandomCsr(int64_t rows, int64_t cols, double sparsity, DataType dtype,
+                           uint64_t seed) {
+  NDArray dense = NDArray::Random({rows, cols}, dtype, seed);
+  SparsifyDense(&dense, sparsity, seed * 2654435761 + 1);
+  return CSRMatrix::FromDense(dense);
+}
+
+}  // namespace runtime
+}  // namespace tvmcpp
+
+#endif  // SRC_RUNTIME_CSR_H_

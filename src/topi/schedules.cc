@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "src/ir/simplify.h"
+#include "src/runtime/csr.h"
+#include "src/topi/sparse.h"
 
 namespace tvmcpp {
 namespace topi {
@@ -47,10 +49,18 @@ std::string OpWorkload::Key() const {
   std::ostringstream os;
   os << kind << "_n" << n << "_h" << h << "_w" << w << "_ic" << ic << "_oc" << oc << "_k"
      << k << "_s" << stride << "_p" << pad << "_" << dtype.ToString();
+  if (kind == "sparse_dense") {
+    // The sparsity pattern changes the kernel (ELL bound, buffer sizes), so it is
+    // part of the tuning-cache identity for sparse workloads only.
+    os << "_nnz" << nnz << "_rn" << max_row_nnz;
+  }
   return os.str();
 }
 
 double OpWorkload::Flops() const {
+  if (kind == "sparse_dense") {
+    return 2.0 * n * static_cast<double>(nnz);
+  }
   if (kind == "dense") {
     return 2.0 * n * oc * k;
   }
@@ -67,6 +77,16 @@ double OpWorkload::Flops() const {
 
 BuiltOp BuildOpCompute(const OpWorkload& wl) {
   BuiltOp b;
+  if (wl.kind == "sparse_dense") {
+    int64_t alloc = runtime::CsrAllocLen(wl.nnz, wl.max_row_nnz);
+    Tensor data = placeholder({make_int(wl.n), make_int(wl.k)}, wl.dtype, "data");
+    Tensor w_data = placeholder({make_int(alloc)}, wl.dtype, "w_data");
+    Tensor w_indices = placeholder({make_int(alloc)}, DataType::Int32(), "w_indices");
+    Tensor w_indptr = placeholder({make_int(wl.oc + 1)}, DataType::Int32(), "w_indptr");
+    b.inputs = {data, w_data, w_indices, w_indptr};
+    b.output = SparseDense(data, w_data, w_indices, w_indptr, wl.max_row_nnz);
+    return b;
+  }
   if (wl.kind == "dense") {
     Tensor data = placeholder({make_int(wl.n), make_int(wl.k)}, wl.dtype, "data");
     Tensor weight = placeholder({make_int(wl.oc), make_int(wl.k)}, wl.dtype, "weight");
@@ -101,6 +121,25 @@ BuiltOp BuildOpCompute(const OpWorkload& wl) {
 
 ConfigSpace GetScheduleSpace(const OpWorkload& wl, const Target& target) {
   ConfigSpace space;
+  if (wl.kind == "sparse_dense") {
+    if (target.kind == TargetKind::kGpu) {
+      space.knobs = {
+          {"tile_y", DivisorChoices(wl.n, 1, 16)},
+          {"tile_x", DivisorChoices(wl.oc, 1, 64)},
+      };
+    } else {
+      // parallel: 0 = serial, 1 = batch rows, 2 = output-column blocks (the right
+      // axis for single-sample serving, where the batch extent is 1; per-column
+      // cost is uniform under the ELL bound, so column blocks are nnz-balanced).
+      space.knobs = {
+          {"tile_y", DivisorChoices(wl.n, 1, 16)},
+          {"tile_x", DivisorChoices(wl.oc, 4, 64)},
+          {"vectorize", {0, 1}},
+          {"parallel", {0, 1, 2}},
+      };
+    }
+    return space;
+  }
   if (wl.kind == "dense") {
     if (target.kind == TargetKind::kGpu) {
       // Matrix-vector shapes (small batch) need wide x-tiles to fill a block with
@@ -382,6 +421,55 @@ void ScheduleConvCpu(const Schedule& s, const Tensor& out, const Tensor& master,
   }
 }
 
+// ELL-bounded CSR SpMM. Mirrors the dense template's tiling, but the parallel
+// knob may pick the output-column axis (uniform per-column cost under the ELL
+// bound makes column blocks nnz-balanced chunks), and vectorizing xi turns the
+// indptr/indices/data reads — and the column-indexed x read through them — into
+// the vectorizer's gather form (the VM's vector-indexed kVLoad opcodes).
+void ScheduleSparseDenseCpu(const Schedule& s, const Tensor& out, const Tensor& master,
+                            const Config& cfg) {
+  int64_t ty = At(cfg, "tile_y", 1);
+  int64_t tx = At(cfg, "tile_x", 16);
+  bool vec = At(cfg, "vectorize", 0) != 0;
+  int64_t par = At(cfg, "parallel", 1);
+  Stage so = (*s)[out];
+  IterVar y = so->leaf_iter_vars[0], x = so->leaf_iter_vars[1];
+  IterVar yo, yi, xo, xi;
+  so->split(y, ty, &yo, &yi);
+  so->split(x, tx, &xo, &xi);
+  so->reorder({yo, xo, yi, xi});
+  if (par == 1) {
+    so->parallel(yo);
+  } else if (par == 2) {
+    so->parallel(xo);
+  }
+  if (vec) {
+    so->vectorize(xi);
+  }
+  if (out != master) {
+    (*s)[master]->compute_at(so, xo);
+  }
+}
+
+void ScheduleSparseDenseGpu(const Schedule& s, const Tensor& out, const Tensor& master,
+                            const Config& cfg) {
+  int64_t ty = At(cfg, "tile_y", 1);
+  int64_t tx = At(cfg, "tile_x", 16);
+  Stage so = (*s)[out];
+  IterVar y = so->leaf_iter_vars[0], x = so->leaf_iter_vars[1];
+  IterVar by, yi, bx, xi;
+  so->split(y, ty, &by, &yi);
+  so->split(x, tx, &bx, &xi);
+  so->reorder({by, bx, yi, xi});
+  so->bind(by, thread_axis("blockIdx.y"));
+  so->bind(bx, thread_axis("blockIdx.x"));
+  so->bind(yi, thread_axis("threadIdx.y"));
+  so->bind(xi, thread_axis("threadIdx.x"));
+  if (out != master) {
+    (*s)[master]->compute_at(so, so->leaf_iter_vars.back());
+  }
+}
+
 void ScheduleDenseCpu(const Schedule& s, const Tensor& out, const Tensor& master,
                       const Config& cfg) {
   int64_t ty = At(cfg, "tile_y", 1);
@@ -448,7 +536,9 @@ Schedule ApplyOpSchedule(const OpWorkload& wl, const Target& target, const Built
                          const Config& config) {
   Schedule s = create_schedule({built.output});
   if (target.kind == TargetKind::kGpu) {
-    if (wl.kind == "dense") {
+    if (wl.kind == "sparse_dense") {
+      ScheduleSparseDenseGpu(s, built.output, built.output, config);
+    } else if (wl.kind == "dense") {
       ScheduleDenseGpu(s, built.output, built.output, config);
     } else if (wl.kind == "conv2d_transpose") {
       ScheduleInjective(target, s, built.output);
@@ -456,7 +546,9 @@ Schedule ApplyOpSchedule(const OpWorkload& wl, const Target& target, const Built
       ScheduleConvGpu(s, built.output, built.output, config, wl.kind == "depthwise_conv2d");
     }
   } else {
-    if (wl.kind == "dense") {
+    if (wl.kind == "sparse_dense") {
+      ScheduleSparseDenseCpu(s, built.output, built.output, config);
+    } else if (wl.kind == "dense") {
       ScheduleDenseCpu(s, built.output, built.output, config);
     } else if (wl.kind == "conv2d_transpose") {
       Tensor pad = FindPadInput(built.output);
@@ -492,7 +584,9 @@ Schedule ScheduleFusedGroup(const Target& target, const std::vector<Tensor>& gro
     if (master.defined() && master_wl != nullptr) {
       // Un-inline nothing; schedule the master via its template.
       if (target.kind == TargetKind::kGpu) {
-        if (master_wl->kind == "dense") {
+        if (master_wl->kind == "sparse_dense") {
+          ScheduleSparseDenseGpu(s, out, master, config);
+        } else if (master_wl->kind == "dense") {
           ScheduleDenseGpu(s, out, master, config);
         } else if (master_wl->kind != "conv2d_transpose") {
           ScheduleConvGpu(s, out, master, config,
@@ -501,7 +595,9 @@ Schedule ScheduleFusedGroup(const Target& target, const std::vector<Tensor>& gro
           ScheduleInjective(target, s, out);
         }
       } else {
-        if (master_wl->kind == "dense") {
+        if (master_wl->kind == "sparse_dense") {
+          ScheduleSparseDenseCpu(s, out, master, config);
+        } else if (master_wl->kind == "dense") {
           ScheduleDenseCpu(s, out, master, config);
         } else if (master_wl->kind != "conv2d_transpose") {
           ScheduleConvCpu(s, out, master, config,
@@ -517,7 +613,9 @@ Schedule ScheduleFusedGroup(const Target& target, const std::vector<Tensor>& gro
   }
   // Master + injective epilogue: schedule the output, attach the master inside.
   if (target.kind == TargetKind::kGpu) {
-    if (master_wl != nullptr && master_wl->kind == "dense") {
+    if (master_wl != nullptr && master_wl->kind == "sparse_dense") {
+      ScheduleSparseDenseGpu(s, out, master, config);
+    } else if (master_wl != nullptr && master_wl->kind == "dense") {
       ScheduleDenseGpu(s, out, master, config);
     } else if (master_wl != nullptr && master_wl->kind != "conv2d_transpose") {
       ScheduleConvGpu(s, out, master, config, master_wl->kind == "depthwise_conv2d");
@@ -526,7 +624,9 @@ Schedule ScheduleFusedGroup(const Target& target, const std::vector<Tensor>& gro
       (*s)[master]->compute_at((*s)[out], (*s)[out]->leaf_iter_vars.back());
     }
   } else {
-    if (master_wl != nullptr && master_wl->kind == "dense") {
+    if (master_wl != nullptr && master_wl->kind == "sparse_dense") {
+      ScheduleSparseDenseCpu(s, out, master, config);
+    } else if (master_wl != nullptr && master_wl->kind == "dense") {
       ScheduleDenseCpu(s, out, master, config);
     } else if (master_wl != nullptr && master_wl->kind != "conv2d_transpose") {
       ScheduleConvCpu(s, out, master, config, master_wl->kind == "depthwise_conv2d");

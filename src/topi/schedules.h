@@ -71,12 +71,18 @@ struct ConfigSpace {
 
 // A single-operator tuning workload (Table 2 rows are instances of this).
 struct OpWorkload {
-  std::string kind;  // "conv2d", "depthwise_conv2d", "dense", "conv2d_transpose"
+  std::string kind;  // "conv2d", "depthwise_conv2d", "dense", "conv2d_transpose",
+                     // "sparse_dense"
   int n = 1;
   int h = 1, w = 1;   // spatial input
   int ic = 1, oc = 1;
-  int k = 1;          // kernel size (or input dim for dense)
+  int k = 1;          // kernel size (or input dim for dense / sparse_dense)
   int stride = 1, pad = 0;
+  // sparse_dense only: stored entries and densest row of the CSR weight. Appended
+  // to Key() for that kind alone, so dense workload keys (and the key hashes
+  // pinned by the tuning-cache tests) are unchanged.
+  int64_t nnz = 0;
+  int64_t max_row_nnz = 0;
   DataType dtype = DataType::Float32();
 
   std::string Key() const;

@@ -1,0 +1,94 @@
+#include "src/topi/sparse.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/ir/simplify.h"
+#include "src/ir/stmt.h"
+
+namespace tvmcpp {
+namespace topi {
+
+namespace {
+
+int64_t Dim(const Tensor& t, int i) { return get_const_int(Simplify(t.shape()[i])); }
+
+}  // namespace
+
+Tensor SparseDense(const Tensor& x, const Tensor& w_data, const Tensor& w_indices,
+                   const Tensor& w_indptr, int64_t max_row_nnz,
+                   const std::string& name) {
+  int64_t batch = Dim(x, 0);
+  int64_t out_dim = Dim(w_indptr, 0) - 1;
+  DataType dt = x.dtype();
+  IterVar p = reduce_axis(Range(make_int(0), make_int(std::max<int64_t>(max_row_nnz, 0))),
+                          name + ".p");
+  return compute(
+      {make_int(batch), make_int(out_dim)},
+      [&](const std::vector<Var>& i) {
+        Expr row_start = w_indptr({i[1]});
+        Expr row_end = w_indptr({i[1] + make_int(1)});
+        Expr pos = row_start + p->var;
+        // Rows shorter than the ELL bound read the zero tail padding for the
+        // guarded-off steps (in bounds by construction; see src/runtime/csr.h),
+        // and the guard's exact-zero arm keeps the accumulation bitwise equal to
+        // the dense reduction, whose dropped terms were exact zeros too.
+        Expr term = w_data({pos}) * x({i[0], w_indices({pos})});
+        return sum(if_then_else(lt(pos, row_end), term, make_zero(dt)), {p});
+      },
+      name);
+}
+
+LoweredFunc SpMMCSRRowBlocks(int64_t batch, int64_t in_dim, int64_t out_dim,
+                             int64_t alloc_len, int64_t nblocks, DataType dtype,
+                             const std::string& name) {
+  DataType i32 = DataType::Int32();
+  Var x = make_var("x", DataType::Handle());
+  Var wd = make_var("w_data", DataType::Handle());
+  Var wi = make_var("w_indices", DataType::Handle());
+  Var wp = make_var("w_indptr", DataType::Handle());
+  Var blocks = make_var("block_starts", DataType::Handle());
+  Var out = make_var("out", DataType::Handle());
+
+  Var b = make_var("b", i32);       // row block (kParallel)
+  Var rb = make_var("rb", i32);     // row within the block
+  Var n = make_var("n", i32);       // absolute output row (let-bound)
+  Var m = make_var("m", i32);       // batch row
+  Var q = make_var("q", i32);       // nonzero within the row
+  Var pos = make_var("pos", i32);   // absolute CSR position (let-bound)
+
+  Expr out_idx = m * make_int(out_dim) + n;
+  // out[m, n] += data[pos] * x[m, indices[pos]]
+  Stmt update = let_stmt(
+      pos, load(i32, wp, n) + q,
+      store(out,
+            load(dtype, out, out_idx) +
+                load(dtype, wd, pos) * load(dtype, x, m * make_int(in_dim) + load(i32, wi, pos)),
+            out_idx));
+  // Dynamic per-row trip count, loaded from indptr at loop entry.
+  Stmt row_loop = for_stmt(q, make_int(0), load(i32, wp, n + make_int(1)) - load(i32, wp, n),
+                           update, ForType::kSerial);
+  Stmt per_row = seq({store(out, make_zero(dtype), out_idx), row_loop});
+  Stmt batch_loop = for_stmt(m, make_int(0), make_int(batch), per_row, ForType::kSerial);
+  // n = block_starts[b] + rb; the let keeps the VM's parallel-hazard scan aware
+  // that the store index tracks the block variable, so the block loop stays
+  // genuinely parallel instead of demoting to serial.
+  Stmt rows = for_stmt(
+      rb, make_int(0), load(i32, blocks, b + make_int(1)) - load(i32, blocks, b),
+      let_stmt(n, load(i32, blocks, b) + rb, batch_loop), ForType::kSerial);
+  Stmt body = for_stmt(b, make_int(0), make_int(nblocks), rows, ForType::kParallel);
+
+  LoweredFunc f;
+  f.name = name;
+  f.args = {BufferArg{x, dtype, {batch * in_dim}, "x"},
+            BufferArg{wd, dtype, {alloc_len}, "w_data"},
+            BufferArg{wi, i32, {alloc_len}, "w_indices"},
+            BufferArg{wp, i32, {out_dim + 1}, "w_indptr"},
+            BufferArg{blocks, i32, {nblocks + 1}, "block_starts"},
+            BufferArg{out, dtype, {batch * out_dim}, "out"}};
+  f.body = body;
+  return f;
+}
+
+}  // namespace topi
+}  // namespace tvmcpp

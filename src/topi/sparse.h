@@ -1,0 +1,51 @@
+// Sparse operators: CSR SpMM (sparse_dense) as a first-class topi workload.
+//
+// Two forms of the same matmul-with-pruned-weights computation:
+//   - SparseDense: a declarative te compute with a fixed (ELL-bounded) reduction
+//     axis, so the whole dense machinery — fusion, schedule templates, the
+//     vectorizer's gather/scatter lowering, rebatching, autotuning — applies
+//     unchanged. Out-of-row reduction steps are guarded to contribute exact
+//     zeros, which keeps the result bitwise-equal to the dense reference (see
+//     src/runtime/csr.h on why the padded tail makes the guard side-effect-free).
+//   - SpMMCSRRowBlocks: a hand-built TIR kernel over the true CSR form, with
+//     data-dependent per-row loop bounds and a kParallel outer loop over
+//     nnz-balanced row blocks (CSRMatrix::NnzBalancedRowBlocks), so parallel
+//     chunks do equal work even under skewed row densities.
+#ifndef SRC_TOPI_SPARSE_H_
+#define SRC_TOPI_SPARSE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/lower/lower.h"
+#include "src/te/tensor.h"
+
+namespace tvmcpp {
+namespace topi {
+
+// SpMM against a CSR weight matrix: x [M, K] x csr(W [N, K]) -> [M, N], i.e.
+// out[m, n] = sum over W's row n of data[p] * x[m, indices[p]].
+//
+// w_data/w_indices are the padded CSR arrays ([CsrAllocLen] elements), w_indptr
+// is int32 [N + 1]. `max_row_nnz` (the densest row) bounds the reduction axis;
+// rows shorter than it contribute guarded zero terms for the remainder, which
+// by the padded allocation never read out of bounds.
+Tensor SparseDense(const Tensor& x, const Tensor& w_data, const Tensor& w_indices,
+                   const Tensor& w_indptr, int64_t max_row_nnz,
+                   const std::string& name = "sparse_dense");
+
+// The true-CSR SpMM kernel, built directly as TIR (no te/schedule pass): the
+// outer loop runs kParallel over `nblocks` row blocks whose boundaries arrive at
+// runtime in a `block_starts` buffer (int32 [nblocks + 1], from
+// CSRMatrix::NnzBalancedRowBlocks), and every inner loop bound is loaded from
+// indptr — the data-dependent-extent pattern the ELL form avoids. Buffer args,
+// in order: x [M*K], w_data, w_indices (padded CSR arrays), w_indptr [N+1],
+// block_starts [nblocks+1], out [M*N].
+LoweredFunc SpMMCSRRowBlocks(int64_t batch, int64_t in_dim, int64_t out_dim,
+                             int64_t alloc_len, int64_t nblocks, DataType dtype,
+                             const std::string& name = "spmm_csr_blocks");
+
+}  // namespace topi
+}  // namespace tvmcpp
+
+#endif  // SRC_TOPI_SPARSE_H_

@@ -2,9 +2,10 @@
 // produces random TIR loop nests — mixed dtypes (f32/f16/i8/i32), serial /
 // unrolled / vectorized / parallel loops, padding guards, floormod-clamped
 // gather indices, wrap-casts bounding int products, expression lets, lazy
-// conditionals — and every program runs on the reference interpreter, the
-// bytecode VM, and the AOT native kernel. All three buffers must be *bitwise*
-// identical.
+// conditionals, and CSR-style indirect addressing (gathers and scatters through
+// a runtime i32 index buffer, in serial and vectorized loop bodies) — and every
+// program runs on the reference interpreter, the bytecode VM, and the AOT
+// native kernel. All three buffers must be *bitwise* identical.
 //
 // Determinism: TVMCPP_FUZZ_SEED picks the corpus (default pinned, so ctest runs
 // the same programs every time); TVMCPP_FUZZ_CASES its size (default 200; the
@@ -76,18 +77,37 @@ struct CaseSpec {
   std::vector<Var> loop_vars;
   std::vector<Var> input_vars;  // handle vars, one per input buffer
   Var out_var;
+  // Optional runtime i32 index buffer (the CSR-shaped indirection: data reached
+  // through indices loaded at run time, like indptr/indices drive sparse_dense).
+  // idx_elems == 0 means the case has no index buffer.
+  Var idx_var;
+  int64_t idx_elems = 0;
+  bool indirect_store = false;  // scatter: out index read from the index buffer
   int64_t in_elems = 0;
   int64_t out_elems = 0;
   Expr value;  // stored expression over loop_vars / loads of input_vars
   Expr guard;  // optional store guard; null = unguarded
 };
 
-LoweredFunc BuildCase(const CaseSpec& spec, const std::string& name) {
+Expr FlatIndex(const CaseSpec& spec) {
   Expr flat = spec.loop_vars[0];
   for (size_t j = 1; j < spec.loop_vars.size(); ++j) {
     flat = flat * spec.extents[j] + Expr(spec.loop_vars[j]);
   }
-  Stmt st = store(spec.out_var, spec.value, flat);
+  return flat;
+}
+
+LoweredFunc BuildCase(const CaseSpec& spec, const std::string& name) {
+  Expr flat = FlatIndex(spec);
+  Expr out_idx = flat;
+  if (spec.indirect_store) {
+    // Scatter through the runtime index buffer, floormod-clamped into bounds.
+    // Colliding destinations are fine: all three tiers execute the (serial)
+    // iteration space in the same order, so last-write-wins is deterministic.
+    out_idx = load(DataType::Int32(), spec.idx_var, flat % spec.idx_elems) %
+              spec.out_elems;
+  }
+  Stmt st = store(spec.out_var, spec.value, out_idx);
   if (spec.guard != nullptr) {
     st = if_then_else_stmt(spec.guard, st);
   }
@@ -100,6 +120,10 @@ LoweredFunc BuildCase(const CaseSpec& spec, const std::string& name) {
   for (size_t j = 0; j < spec.input_vars.size(); ++j) {
     f.args.push_back(BufferArg{spec.input_vars[j], spec.dtype, {spec.in_elems},
                                "In" + std::to_string(j)});
+  }
+  if (spec.idx_elems > 0) {
+    f.args.push_back(
+        BufferArg{spec.idx_var, DataType::Int32(), {spec.idx_elems}, "Idx"});
   }
   f.args.push_back(BufferArg{spec.out_var, spec.dtype, {spec.out_elems}, "Out"});
   f.body = st;
@@ -145,6 +169,14 @@ class CaseGen {
           make_var("In" + std::to_string(j), DataType::Handle()));
     }
     s.out_var = make_var("Out", DataType::Handle());
+    // CSR-shaped indirection: ~40% of cases get a runtime i32 index buffer and
+    // may gather through it (serial and vectorized forms alike); serial cases
+    // may also scatter their store through it.
+    if (rng_->Chance(0.4)) {
+      s.idx_elems = rng_->Range(2, 8);
+      s.idx_var = make_var("Idx", DataType::Handle());
+      s.indirect_store = !vectorized_ && rng_->Chance(0.4);
+    }
     spec_ = &s;
     s.value = cast(s.dtype, GenValue(3));
     if (rng_->Chance(0.3)) {
@@ -166,16 +198,30 @@ class CaseGen {
     return make_const(spec_->dtype, rng_->Range(-5, 5));
   }
 
-  // floormod-clamped gather index: always lands in [0, in_elems).
-  Expr LoadLeaf() {
-    Expr idx = make_int(rng_->Range(0, spec_->in_elems - 1));
+  // Affine-in-loop-vars index, floormod-clamped into [0, elems).
+  Expr AffineIndex(int64_t elems) {
+    Expr idx = make_int(rng_->Range(0, elems - 1));
     for (const Var& v : spec_->loop_vars) {
       const int64_t c = rng_->Range(0, 3);
       if (c != 0) {
         idx = idx + Expr(v) * c;
       }
     }
-    idx = idx % spec_->in_elems;
+    return idx % elems;
+  }
+
+  // floormod-clamped gather index: always lands in [0, in_elems). When the case
+  // carries a runtime index buffer, half the loads go through it — the
+  // CSR-shaped double hop load(data, load(idx_buf, affine) % bound) that
+  // sparse_dense lowers to, in both serial and vectorized loop bodies.
+  Expr LoadLeaf() {
+    Expr idx;
+    if (spec_->idx_elems > 0 && rng_->Chance(0.5)) {
+      idx = load(DataType::Int32(), spec_->idx_var, AffineIndex(spec_->idx_elems)) %
+            spec_->in_elems;
+    } else {
+      idx = AffineIndex(spec_->in_elems);
+    }
     const size_t buf = static_cast<size_t>(
         rng_->Range(0, static_cast<int64_t>(spec_->input_vars.size()) - 1));
     return load(spec_->dtype, spec_->input_vars[buf], idx);
@@ -319,6 +365,11 @@ std::vector<HostBuf> CaseBuffers(const CaseSpec& spec, uint64_t fill_seed) {
   for (size_t j = 0; j < spec.input_vars.size(); ++j) {
     bufs.push_back(FillBuf(spec.in_elems, spec.dtype, &rng));
   }
+  if (spec.idx_elems > 0) {
+    // Random int32 incl. negatives: every consumer floormods the loaded value
+    // into bounds, and that clamping is part of what the corpus pins.
+    bufs.push_back(FillBuf(spec.idx_elems, DataType::Int32(), &rng));
+  }
   bufs.push_back(FillBuf(spec.out_elems, spec.dtype, &rng));
   return bufs;
 }
@@ -394,6 +445,10 @@ std::vector<Expr> SubExprs(const Expr& e) {
     out.push_back(l->value);
   } else if (auto* c = dynamic_cast<const CastNode*>(e.get())) {
     out.push_back(c->value);
+  } else if (auto* ld = dynamic_cast<const LoadNode*>(e.get())) {
+    // Indirect -> direct shrink for gathers: replacing a load by its index
+    // expression peels one level of indirection per reduction round.
+    out.push_back(ld->index);
   }
   return out;
 }
@@ -422,6 +477,15 @@ CaseSpec Reduce(CaseSpec spec, uint64_t fill_seed) {
     if (spec.guard != nullptr) {
       CaseSpec t = spec;
       t.guard = nullptr;
+      if (SpecFails(t, fill_seed, &why)) {
+        spec = t;
+        changed = true;
+      }
+    }
+    if (spec.indirect_store) {
+      // Indirect -> direct: drop the scatter, keep everything else.
+      CaseSpec t = spec;
+      t.indirect_store = false;
       if (SpecFails(t, fill_seed, &why)) {
         spec = t;
         changed = true;
