@@ -1,0 +1,249 @@
+// Shared-memory transport benchmark: K forked client processes submitting
+// through the shm ring (zero-copy descriptors, futex completion) versus the
+// same number of in-process closed-loop Submit() threads against the same
+// InferenceServer. Reports req/s and p50/p99 per side and their ratio.
+//
+// The shm side pays descriptor encode/decode, futex wake/wait, and poller
+// dispatch per request but moves zero tensor bytes; on a single-core host the
+// two sides time-slice one CPU, so the ratio measures per-request transport
+// overhead, not parallel speedup. The ratio field is deliberately named
+// *_ratio (not *speedup*) so the CI smoke gate does not gate on it.
+//
+// Children report per-request latencies and their start/stop timestamps over
+// pipes; CLOCK_MONOTONIC is process-agnostic, so the parent computes the
+// aggregate throughput window as max(end) - min(start).
+//
+// Emits one JSON line (serve_shm_2proc) to stdout and BENCH_serve.json.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/graph/executor.h"
+#include "src/graph/graph.h"
+#include "src/runtime/ndarray.h"
+#include "src/runtime/target.h"
+#include "src/serve/serve.h"
+#include "src/serve/shm_client.h"
+#include "src/serve/shm_server.h"
+
+namespace tvmcpp {
+namespace {
+
+constexpr int kClients = 2;
+
+// Same conv chain as tests/test_shm.cc: ~1 ms of kernel work per request, so
+// per-request transport overhead is visible but not the whole measurement.
+graph::Graph MakeChainGraph() {
+  graph::Graph g;
+  int data = g.AddInput("data", {1, 4, 8, 8});
+  int w1 = g.AddConst("w1", {8, 4, 3, 3});
+  int w2 = g.AddConst("w2", {8, 8, 1, 1});
+  int c1 = g.AddOp("conv2d", "conv1", {data, w1}, {{"stride", 1}, {"pad", 1}});
+  int r1 = g.AddOp("relu", "relu1", {c1});
+  g.outputs = {g.AddOp("conv2d", "conv2", {r1, w2}, {{"stride", 1}, {"pad", 0}})};
+  return g;
+}
+
+std::shared_ptr<graph::CompiledGraph> MakeChainModel() {
+  auto model = std::make_shared<graph::CompiledGraph>(MakeChainGraph(), Target::ArmA53(),
+                                                      graph::CompileOptions{});
+  model->SetParam("w1", NDArray::Random({8, 4, 3, 3}, DataType::Float32(), 11));
+  model->SetParam("w2", NDArray::Random({8, 8, 1, 1}, DataType::Float32(), 12));
+  return model;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+// Child body: closed-loop shm client. Writes [start_ms, end_ms, lat...] as
+// raw doubles to `fd` and exits 0, or exits nonzero on any fault.
+int RunShmChild(const std::string& arena_name, int reps, int fd) {
+  serve::Status st;
+  auto client = serve::ShmClient::Connect(arena_name, &st, /*attach_timeout_ms=*/30000);
+  if (client == nullptr) return 2;
+  serve::ShmModelMeta mm;
+  int64_t deadline = serve::ShmMonotonicMs() + 30000;
+  while (!client->GetModelMeta("chain", &mm)) {
+    if (serve::ShmMonotonicMs() >= deadline) return 3;
+    usleep(2000);
+  }
+  NDArray in = client->AllocTensor(mm.inputs[0].shape, mm.inputs[0].dtype);
+  if (!in.defined()) return 4;
+  in.CopyFrom(NDArray::Random(mm.inputs[0].shape, mm.inputs[0].dtype, 77));
+
+  std::vector<double> lat;
+  lat.reserve(static_cast<size_t>(reps));
+  bench::WallTimer clock;
+  double start_ms = serve::ShmMonotonicMs();
+  for (int r = 0; r < reps; ++r) {
+    std::vector<NDArray> outs;
+    clock.Reset();
+    serve::Status s = client->Call("chain", {{mm.inputs[0].name, in}}, &outs);
+    if (!s.ok()) return 5;
+    lat.push_back(clock.Ms());
+  }
+  double end_ms = serve::ShmMonotonicMs();
+  if (client->staged_inputs() != 0) return 6;  // the hot loop must be copy-free
+
+  std::vector<double> msg;
+  msg.push_back(start_ms);
+  msg.push_back(end_ms);
+  msg.insert(msg.end(), lat.begin(), lat.end());
+  size_t bytes = msg.size() * sizeof(double);
+  const char* p = reinterpret_cast<const char*>(msg.data());
+  while (bytes > 0) {
+    ssize_t n = write(fd, p, bytes);
+    if (n <= 0) return 7;
+    p += n;
+    bytes -= static_cast<size_t>(n);
+  }
+  close(fd);
+  return 0;
+}
+
+bool ReadAll(int fd, std::vector<double>* out, int expect) {
+  out->resize(static_cast<size_t>(expect));
+  char* p = reinterpret_cast<char*>(out->data());
+  size_t bytes = out->size() * sizeof(double);
+  while (bytes > 0) {
+    ssize_t n = read(fd, p, bytes);
+    if (n <= 0) return false;
+    p += n;
+    bytes -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace tvmcpp
+
+int main() {
+  using namespace tvmcpp;
+  bench::OpenDefaultBenchJsonSink(TVMCPP_SOURCE_DIR "/BENCH_serve.json");
+  const int reps = bench::BenchSmokeMode() ? 40 : 400;
+  const std::string arena_name = "/tvmcpp_bench_" + std::to_string(getpid());
+
+  // Fork the client processes BEFORE the server spawns worker threads (fork
+  // with live threads is undefined-behavior territory); children retry-attach
+  // until the arena and model appear.
+  int pipes[kClients][2];
+  std::vector<pid_t> kids;
+  for (int c = 0; c < kClients; ++c) {
+    if (pipe(pipes[c]) != 0) {
+      std::perror("pipe");
+      return 1;
+    }
+    pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      for (int j = 0; j <= c; ++j) close(pipes[j][0]);
+      _exit(RunShmChild(arena_name, reps, pipes[c][1]));
+    }
+    close(pipes[c][1]);
+    kids.push_back(pid);
+  }
+
+  serve::ServerOptions sopts;
+  sopts.num_workers = 2;
+  sopts.default_deadline_ms = 0;
+  serve::InferenceServer server(sopts);
+  serve::ShmTransport::Options topts;
+  topts.shm_name = arena_name;
+  serve::ShmTransport transport(&server, topts);
+  auto model = MakeChainModel();
+  transport.RegisterModel("chain", model);
+
+  // --- shm side: drain the children ---
+  std::vector<double> shm_lat;
+  double shm_start = 0, shm_end = 0;
+  bool ok = true;
+  for (int c = 0; c < kClients; ++c) {
+    std::vector<double> msg;
+    if (!ReadAll(pipes[c][0], &msg, reps + 2)) ok = false;
+    close(pipes[c][0]);
+    if (msg.size() == static_cast<size_t>(reps) + 2) {
+      shm_start = (c == 0) ? msg[0] : std::min(shm_start, msg[0]);
+      shm_end = std::max(shm_end, msg[1]);
+      shm_lat.insert(shm_lat.end(), msg.begin() + 2, msg.end());
+    }
+  }
+  for (pid_t pid : kids) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "shm client child failed (exit %d)\n",
+                   WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+      ok = false;
+    }
+  }
+  if (!ok || shm_end <= shm_start) {
+    std::fprintf(stderr, "shm phase failed; no JSON emitted\n");
+    return 1;
+  }
+  double shm_wall_s = (shm_end - shm_start) / 1000.0;
+  double shm_req_s = static_cast<double>(shm_lat.size()) / shm_wall_s;
+
+  // --- in-process baseline: same client count, same server, heap tensors ---
+  NDArray in = NDArray::Random({1, 4, 8, 8}, DataType::Float32(), 77);
+  std::vector<std::vector<double>> lat_per(kClients);
+  bench::WallTimer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c]() {
+      lat_per[c].reserve(static_cast<size_t>(reps));
+      for (int r = 0; r < reps; ++r) {
+        serve::InferenceRequest req;
+        req.inputs["data"] = in;
+        bench::WallTimer t;
+        serve::InferenceResponse resp = server.Submit(model, std::move(req)).get();
+        if (!resp.status.ok()) return;
+        lat_per[c].push_back(t.Ms());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double inproc_wall_s = wall.Ms() / 1000.0;
+  std::vector<double> inproc_lat;
+  for (auto& v : lat_per) inproc_lat.insert(inproc_lat.end(), v.begin(), v.end());
+  if (inproc_lat.size() != static_cast<size_t>(kClients) * reps) {
+    std::fprintf(stderr, "in-process baseline had failures; no JSON emitted\n");
+    return 1;
+  }
+  double inproc_req_s = static_cast<double>(inproc_lat.size()) / inproc_wall_s;
+
+  serve::ShmTransport::Stats ts = transport.stats();
+  bench::PrintBenchJson(
+      "serve_shm_2proc",
+      {{"clients", kClients},
+       {"reps_per_client", reps},
+       {"shm_req_s", shm_req_s},
+       {"shm_p50_ms", Percentile(shm_lat, 0.50)},
+       {"shm_p99_ms", Percentile(shm_lat, 0.99)},
+       {"inproc_req_s", inproc_req_s},
+       {"inproc_p50_ms", Percentile(inproc_lat, 0.50)},
+       {"inproc_p99_ms", Percentile(inproc_lat, 0.99)},
+       {"shm_vs_inproc_ratio", shm_req_s / inproc_req_s},
+       {"zero_copy_requests", static_cast<double>(ts.zero_copy_requests)},
+       {"copied_outputs", static_cast<double>(ts.copied_outputs)}});
+
+  transport.Stop();
+  server.Shutdown();
+  return 0;
+}

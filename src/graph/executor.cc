@@ -358,5 +358,16 @@ NDArray RunContext::GetOutput(int index) const {
   return values_.at(compiled_->graph().outputs[static_cast<size_t>(index)]);
 }
 
+void RunContext::BindOutput(int index, const NDArray& buffer) {
+  const std::vector<int>& outputs = compiled_->graph().outputs;
+  CHECK(index >= 0 && static_cast<size_t>(index) < outputs.size())
+      << "BindOutput index " << index << " out of range";
+  const Node& node = compiled_->graph().node(outputs[static_cast<size_t>(index)]);
+  CHECK(buffer.shape() == node.shape && buffer.dtype() == node.dtype)
+      << "BindOutput buffer shape/dtype mismatch for output " << index << " (" << node.name
+      << ")";
+  values_[outputs[static_cast<size_t>(index)]] = buffer;
+}
+
 }  // namespace graph
 }  // namespace tvmcpp

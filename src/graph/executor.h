@@ -78,6 +78,14 @@ class RunContext {
 
   void SetInput(const std::string& name, const NDArray& value);
   NDArray GetOutput(int index) const;
+  // Replaces graph output `index`'s buffer with caller-owned storage (e.g. a
+  // shared-memory slab), so Run() writes that output directly there instead of
+  // into the memory plan's token — the zero-copy response half of the shm
+  // transport. Must be called before Run(); shape and dtype must match the
+  // output node exactly. Safe even when the output node's plan token is shared:
+  // rebinding redirects only this node's buffer, other tensors keep their own
+  // views of the token.
+  void BindOutput(int index, const NDArray& buffer);
   const CompiledGraph& compiled() const { return *compiled_; }
 
  private:

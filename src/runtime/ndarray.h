@@ -17,6 +17,57 @@
 
 namespace tvmcpp {
 
+// Backing bytes of an NDArray. The default form owns a heap vector; the
+// external form aliases memory owned elsewhere (a shared-memory arena slab)
+// and keeps that memory alive through an opaque keeper handle.
+class NDStorage {
+ public:
+  // Owned heap storage, zero-initialized.
+  explicit NDStorage(size_t size) : owned_(size, 0), ptr_(owned_.data()), size_(size) {}
+  // External storage: `keeper` must keep `ptr` valid for this object's lifetime.
+  NDStorage(char* ptr, size_t size, std::shared_ptr<void> keeper)
+      : ptr_(ptr), size_(size), keeper_(std::move(keeper)), external_(true) {}
+  char* data() { return ptr_; }
+  const char* data() const { return ptr_; }
+  size_t size() const { return size_; }
+  bool external() const { return external_; }
+
+ private:
+  std::vector<char> owned_;  // empty for external storage
+  char* ptr_ = nullptr;
+  size_t size_ = 0;
+  std::shared_ptr<void> keeper_;  // keeps external memory alive; null when owned
+  bool external_ = false;
+};
+
+// Pluggable allocation pool consulted by NDArray::Empty. Implementations must
+// return zero-filled storage (matching Empty's heap semantics) or null to
+// decline the request, in which case the caller falls back to the heap.
+class StoragePool {
+ public:
+  virtual ~StoragePool() = default;
+  virtual std::shared_ptr<NDStorage> Allocate(size_t bytes) = 0;
+};
+
+// Installs `pool` as the calling thread's allocation pool for the scope's
+// lifetime, so every NDArray::Empty on this thread (and thus Random, executor
+// buffer allocation, ...) draws from it. Nests: the previous pool is restored.
+class ScopedStoragePool {
+ public:
+  explicit ScopedStoragePool(StoragePool* pool) : saved_(Slot()) { Slot() = pool; }
+  ~ScopedStoragePool() { Slot() = saved_; }
+  ScopedStoragePool(const ScopedStoragePool&) = delete;
+  ScopedStoragePool& operator=(const ScopedStoragePool&) = delete;
+
+  static StoragePool*& Slot() {
+    thread_local StoragePool* pool = nullptr;
+    return pool;
+  }
+
+ private:
+  StoragePool* saved_;
+};
+
 class NDArray {
  public:
   NDArray() = default;
@@ -25,9 +76,26 @@ class NDArray {
     NDArray a;
     a.shape_ = std::move(shape);
     a.dtype_ = dtype;
-    int64_t n = a.NumElements();
-    a.data_ = std::make_shared<std::vector<char>>(
-        static_cast<size_t>(n * InterpElementBytes(dtype)), 0);
+    size_t bytes = static_cast<size_t>(a.NumElements() * InterpElementBytes(dtype));
+    if (StoragePool* pool = ScopedStoragePool::Slot()) {
+      a.data_ = pool->Allocate(bytes);
+    }
+    if (a.data_ == nullptr) {
+      a.data_ = std::make_shared<NDStorage>(bytes);
+    }
+    return a;
+  }
+
+  // Wraps externally owned memory (e.g. a shared-memory arena slab) as a tensor
+  // without copying. `keeper` must keep `ptr` valid for the array's lifetime;
+  // the bytes at `ptr` must span the tensor's ByteSize().
+  static NDArray FromExternal(void* ptr, std::vector<int64_t> shape, DataType dtype,
+                              std::shared_ptr<void> keeper) {
+    NDArray a;
+    a.shape_ = std::move(shape);
+    a.dtype_ = dtype;
+    size_t bytes = static_cast<size_t>(a.NumElements() * InterpElementBytes(dtype));
+    a.data_ = std::make_shared<NDStorage>(static_cast<char*>(ptr), bytes, std::move(keeper));
     return a;
   }
 
@@ -109,14 +177,13 @@ class NDArray {
   // for ShareStorage views, so copies must use this rather than the storage size.
   int64_t ByteSize() const { return NumElements() * InterpElementBytes(dtype_); }
 
-  // Deep copy (always into fresh zero-offset storage).
+  // Deep copy (always into fresh zero-offset heap storage, never pool storage).
   NDArray Copy() const {
     NDArray a;
     a.shape_ = shape_;
     a.dtype_ = dtype_;
-    a.data_ = std::make_shared<std::vector<char>>(
-        data_->begin() + static_cast<ptrdiff_t>(byte_offset_),
-        data_->begin() + static_cast<ptrdiff_t>(byte_offset_ + ByteSize()));
+    a.data_ = std::make_shared<NDStorage>(static_cast<size_t>(ByteSize()));
+    std::memcpy(a.data_->data(), Data<char>(), static_cast<size_t>(ByteSize()));
     return a;
   }
 
@@ -127,7 +194,7 @@ class NDArray {
   }
 
  private:
-  std::shared_ptr<std::vector<char>> data_;
+  std::shared_ptr<NDStorage> data_;
   std::vector<int64_t> shape_;
   DataType dtype_;
   int64_t byte_offset_ = 0;  // view offset into data_ (ShareStorage slices)

@@ -115,8 +115,21 @@ const char* StatusCodeName(StatusCode code) {
       return "compile_failed";
     case StatusCode::kExecutionFailed:
       return "execution_failed";
+    case StatusCode::kTransportFault:
+      return "transport_fault";
   }
   return "unknown";
+}
+
+void InferenceServer::Deliver(const Pending& p, InferenceResponse&& r) {
+  if (p.request.on_complete) {
+    try {
+      p.request.on_complete(r);
+    } catch (...) {
+      // A completion hook must never take the worker (or submitter) down.
+    }
+  }
+  p.promise->set_value(std::move(r));
 }
 
 InferenceServer::InferenceServer(ServerOptions options)
@@ -239,7 +252,7 @@ std::future<InferenceResponse> InferenceServer::Submit(
                   "shed at admission: estimated queue wait " +
                       std::to_string(est_wait_ms) + " ms exceeds deadline " +
                       std::to_string(deadline_ms) + " ms"};
-      promise->set_value(std::move(r));
+      Deliver(p, std::move(r));
       return result;
     }
   }
@@ -257,7 +270,7 @@ std::future<InferenceResponse> InferenceServer::Submit(
     }
     InferenceResponse r;
     r.status = {StatusCode::kQueueFault, e.what()};
-    promise->set_value(std::move(r));
+    Deliver(p, std::move(r));
     return result;
   }
 
@@ -265,6 +278,9 @@ std::future<InferenceResponse> InferenceServer::Submit(
   // (delivered == accepted) can never observe a queued request it is not waiting
   // for.
   accepted_.fetch_add(1, std::memory_order_relaxed);
+  // Copied out first: a failed Push consumes p, but the rejection must still
+  // reach the completion hook.
+  std::function<void(const InferenceResponse&)> on_complete = p.request.on_complete;
   if (!queue_.Push(std::move(p))) {
     accepted_.fetch_sub(1, std::memory_order_relaxed);
     {
@@ -274,6 +290,12 @@ std::future<InferenceResponse> InferenceServer::Submit(
     }
     InferenceResponse r;
     r.status = {StatusCode::kRejected, "InferenceServer is shut down"};
+    if (on_complete) {
+      try {
+        on_complete(r);
+      } catch (...) {
+      }
+    }
     promise->set_value(std::move(r));
     return result;  // the SubmitGuard notifies any Shutdown waiter
   }
@@ -435,6 +457,12 @@ InferenceResponse InferenceServer::RunOneWithRetry(const Pending& p,
       for (const auto& kv : p.request.inputs) {
         ctx.SetInput(kv.first, kv.second);
       }
+      // Pre-bound output buffers (shm transport): the graph writes its outputs
+      // straight into client-visible memory — the zero-copy response path.
+      // Rebound per attempt since each attempt builds a fresh context.
+      for (size_t i = 0; i < p.request.bound_outputs.size(); ++i) {
+        ctx.BindOutput(static_cast<int>(i), p.request.bound_outputs[i]);
+      }
       p.model->Run(&ctx, attempt_exec);
       const size_t num_outputs = p.model->graph().outputs.size();
       resp.outputs.clear();
@@ -554,7 +582,20 @@ void InferenceServer::ExecuteOne() {
             SliceBatchedOutputs(ctx, static_cast<int>(live.size()));
         const Clock::time_point done = Clock::now();
         for (size_t i = 0; i < live.size(); ++i) {
-          resps[i].outputs = std::move(slices[i]);
+          const std::vector<NDArray>& bound = live[i].request.bound_outputs;
+          if (!bound.empty()) {
+            // Batched outputs are zero-copy slices of the shared batch buffer;
+            // a request with pre-bound buffers (shm transport) instead needs its
+            // result in memory the client can see, so copy the slice over — the
+            // one copy batching costs on the shm response path.
+            for (size_t j = 0; j < bound.size() && j < slices[i].size(); ++j) {
+              NDArray dst = bound[j];  // shares storage; CopyFrom writes through
+              dst.CopyFrom(slices[i][j]);
+            }
+            resps[i].outputs = bound;
+          } else {
+            resps[i].outputs = std::move(slices[i]);
+          }
           resps[i].run_ms = MsBetween(started, done);
           resps[i].batch_size = static_cast<int>(live.size());
         }
@@ -639,10 +680,10 @@ void InferenceServer::ExecuteOne() {
                     std::to_string(MsBetween(p.enqueued, started)) +
                     " ms in queue"};
     r.queue_ms = MsBetween(p.enqueued, started);
-    p.promise->set_value(std::move(r));
+    Deliver(p, std::move(r));
   }
   for (size_t i = 0; i < live.size(); ++i) {
-    live[i].promise->set_value(std::move(resps[i]));
+    Deliver(live[i], std::move(resps[i]));
   }
   // Drain bookkeeping strictly after: Shutdown must not return until every accepted
   // request's future is actually fulfilled.

@@ -49,6 +49,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -76,6 +77,8 @@ enum class StatusCode {
   kQueueFault,        // injected fault at the queue-admission seam
   kCompileFailed,     // model (or batch-variant) compilation failed for this request
   kExecutionFailed,   // all execution attempts (retries + fallback) failed
+  kTransportFault,    // shm transport failure: attach/push fault, ring full,
+                      // bad descriptor, unknown model, or client-side timeout
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -88,6 +91,8 @@ struct Status {
 
 // One inference call: named input tensors for a shared compiled model, plus the
 // request's SLA envelope.
+struct InferenceResponse;
+
 struct InferenceRequest {
   std::unordered_map<std::string, NDArray> inputs;
   // Larger pops first (e.g. interactive > batch). Ties pop FIFO.
@@ -95,6 +100,17 @@ struct InferenceRequest {
   // Per-request deadline override, in milliseconds from Submit: < 0 inherits
   // ServerOptions::default_deadline_ms, 0 means no deadline, > 0 overrides.
   double deadline_ms = -1;
+  // Pre-bound output buffers (e.g. shared-memory slabs the client owns): when
+  // non-empty there must be one tensor per graph output with matching
+  // shape/dtype. The unbatched execution path then writes graph outputs
+  // directly into these buffers (zero-copy response); the batched path copies
+  // its output slice into them. Either way the response's outputs alias them.
+  std::vector<NDArray> bound_outputs;
+  // Invoked with the final response just before the future resolves, on every
+  // path (ok, shed, rejected, expired, faulted). Runs on whichever thread
+  // resolves the request; must not throw or block. The shm transport uses it
+  // to write completion descriptors without polling futures.
+  std::function<void(const InferenceResponse&)> on_complete;
 };
 
 struct InferenceResponse {
@@ -245,6 +261,8 @@ class InferenceServer {
   // One request through the full retry ladder: VM attempts with exponential
   // backoff bounded by the deadline, then the interpreter down-tier. Never throws.
   InferenceResponse RunOneWithRetry(const Pending& p, const vm::ExecOptions& exec);
+  // Resolves a request: fires the on_complete hook (if any), then the promise.
+  static void Deliver(const Pending& p, InferenceResponse&& r);
   // Returned as shared_ptr so a worker mid-execution keeps its cache alive even if
   // SetBatchBuilder concurrently replaces the map entry.
   std::shared_ptr<BatchedModelCache> CacheFor(

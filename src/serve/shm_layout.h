@@ -1,0 +1,215 @@
+// Wire format of the shared-memory serving transport: the arena header, the
+// model directory, and the fixed-slot MPSC request ring, all of which live
+// inside one POSIX shm object mapped by the server and every client process.
+//
+// Layout (all offsets relative to the mapping base):
+//
+//   [ShmArenaHeader | ShmRequestSlot x num_slots | slab heap ............]
+//
+// Versioning: `magic` + `version` are checked on attach; any change to the
+// structs below that alters size or field meaning must bump kShmVersion.
+// Attach fails cleanly (typed Status, no crash) on mismatch, so old clients
+// cannot corrupt a new server's arena or vice versa.
+//
+// Cross-process atomics: every synchronization word is a std::atomic whose
+// lock-freedom is static_asserted — a lock-based fallback would deadlock
+// across processes. Completion and doorbell words double as futex words on
+// Linux (4-byte aligned uint32), with a sleep-poll fallback elsewhere.
+#ifndef SRC_SERVE_SHM_LAYOUT_H_
+#define SRC_SERVE_SHM_LAYOUT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+#else
+#include <chrono>
+#include <thread>
+#endif
+
+namespace tvmcpp {
+namespace serve {
+
+constexpr uint32_t kShmMagic = 0x54564d41;  // "TVMA"
+constexpr uint32_t kShmVersion = 1;
+
+constexpr int kShmMaxDims = 6;      // max tensor rank in a descriptor
+constexpr int kShmMaxTensors = 8;   // max inputs (and outputs) per request
+constexpr int kShmMaxModels = 16;   // model directory capacity
+constexpr int kShmNameLen = 64;     // model/tensor name capacity (NUL-terminated)
+constexpr int kShmMsgLen = 120;     // status message capacity (truncated)
+constexpr size_t kShmAlign = 64;    // slab payload alignment (cache line)
+constexpr int kShmNumClasses = 22;  // slab size classes: 256 B << i, up to 512 MiB
+constexpr size_t kShmMinClass = 256;
+
+// Offset sentinel for "no tensor payload here".
+constexpr int64_t kShmNoOffset = -1;
+
+// One tensor in a request/response descriptor. `arena_offset` addresses the
+// payload inside the arena's slab heap (absolute offset from the mapping
+// base); shape/dtype describe the widened runtime layout (f16 stored as f32,
+// sub-byte ints as int8 — identical across processes since both map the same
+// bytes the same way).
+struct ShmTensorDesc {
+  char name[kShmNameLen];
+  uint8_t type_code;  // ir::TypeCode
+  uint8_t pad0;
+  uint16_t bits;
+  int32_t ndim;
+  int64_t shape[kShmMaxDims];
+  int64_t arena_offset;  // payload offset, or kShmNoOffset
+};
+static_assert(sizeof(ShmTensorDesc) == 128, "descriptor wire size is part of the ABI");
+
+// Request-ring slot states. Clients drive kFree -> kClaimed -> kReady; the
+// server drives kReady -> kInFlight -> kDone; the owning client frees
+// kDone -> kFree after reading the response. Every transition CASes `state`,
+// and freeing bumps `gen` so a reclaimed/reused slot is detectable by anyone
+// holding a stale (slot, gen) handle.
+enum ShmSlotState : uint32_t {
+  kSlotFree = 0,
+  kSlotClaimed = 1,
+  kSlotReady = 2,
+  kSlotInFlight = 3,
+  kSlotDone = 4,
+};
+
+struct ShmRequestSlot {
+  std::atomic<uint32_t> state;
+  std::atomic<uint32_t> gen;   // bumped on every release; ABA/staleness guard
+  std::atomic<uint32_t> done;  // completion word (futex): 0 pending, 1 complete
+  // Set by a client that gave up waiting: the server frees the slot after
+  // completion instead of the (departed) client.
+  std::atomic<uint32_t> abandoned;
+  uint32_t client_pid;  // for crash detection (kill(pid, 0))
+  uint32_t pad0;
+  int64_t claim_ms;  // CLOCK_MONOTONIC ms at claim; reclamation age base
+  uint64_t seq;      // client-stamped submission order (header req_seq)
+  char model[kShmNameLen];
+  int32_t priority;
+  uint32_t num_inputs;
+  uint32_t num_outputs;
+  uint32_t pad1;
+  double deadline_ms;  // <= 0: no deadline
+  ShmTensorDesc inputs[kShmMaxTensors];
+  ShmTensorDesc outputs[kShmMaxTensors];
+  // Response fields, written by the server before done -> 1.
+  int32_t status_code;  // serve::StatusCode
+  char status_msg[kShmMsgLen];
+  double queue_ms;
+  double run_ms;
+  int32_t batch_size;
+  int32_t retries;
+  uint32_t fell_back;
+  uint32_t pad2;
+};
+
+// One published model: name plus input/output signatures (arena_offset unused)
+// so clients can size and allocate request/response tensors without any
+// channel besides the arena itself. `valid` is 0 empty / 1 publishing / 2
+// ready; readers accept only 2.
+struct ShmModelInfo {
+  std::atomic<uint32_t> valid;
+  uint32_t num_inputs;
+  uint32_t num_outputs;
+  uint32_t pad0;
+  char name[kShmNameLen];
+  ShmTensorDesc inputs[kShmMaxTensors];
+  ShmTensorDesc outputs[kShmMaxTensors];
+};
+
+// Slab free-list head: {generation : 32 | offset-in-kShmAlign-units : 32}
+// packed into one atomic so Treiber push/pop is ABA-safe. Offset unit scaling
+// lets 32 bits address 256 GiB of heap.
+constexpr uint64_t kShmFreeListNil = 0xFFFFFFFFull;
+inline uint64_t ShmPackHead(uint32_t gen, uint32_t off_units) {
+  return (static_cast<uint64_t>(gen) << 32) | off_units;
+}
+inline uint32_t ShmHeadGen(uint64_t head) { return static_cast<uint32_t>(head >> 32); }
+inline uint32_t ShmHeadOff(uint64_t head) { return static_cast<uint32_t>(head); }
+
+struct ShmArenaHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint64_t total_bytes;
+  uint64_t heap_offset;  // byte offset of the slab heap
+  uint64_t heap_bytes;
+  uint32_t num_slots;
+  std::atomic<uint32_t> ready;     // creator stores 1 after init; attachers wait
+  std::atomic<uint32_t> doorbell;  // futex word, bumped on every ready-push
+  uint32_t pad0;
+  std::atomic<uint64_t> req_seq;  // client-side submission order stamp
+  std::atomic<uint64_t> bump;     // heap high-water mark (byte offset into heap)
+  std::atomic<uint64_t> free_heads[kShmNumClasses];
+  std::atomic<int64_t> live_blocks;
+  std::atomic<int64_t> total_allocs;
+  std::atomic<int64_t> total_frees;
+  std::atomic<int64_t> failed_allocs;
+  ShmModelInfo models[kShmMaxModels];
+};
+
+// Every block in the slab heap starts with this header, then pads the payload
+// to the next kShmAlign boundary. Freed blocks reuse the payload's first 8
+// bytes as the free-list next pointer (packed like the list head).
+struct ShmBlockHeader {
+  uint32_t magic;  // kShmBlockMagic while live, kShmBlockFreeMagic on the free list
+  uint32_t cls;    // size-class index; block spans kShmMinClass << cls bytes
+};
+constexpr uint32_t kShmBlockMagic = 0x534c4142;      // "SLAB"
+constexpr uint32_t kShmBlockFreeMagic = 0x46524545;  // "FREE"
+
+static_assert(std::atomic<uint32_t>::is_always_lock_free,
+              "cross-process shm sync requires lock-free 32-bit atomics");
+static_assert(std::atomic<uint64_t>::is_always_lock_free,
+              "cross-process shm sync requires lock-free 64-bit atomics");
+
+// --- Futex wrappers -------------------------------------------------------
+// Wait until *word != expected (or timeout); wake up to `n` waiters. On
+// non-Linux hosts these degrade to a sleep-poll loop, which is slower but
+// semantically identical (waiters always recheck the word).
+
+#ifdef __linux__
+inline void ShmFutexWake(std::atomic<uint32_t>* word, int n) {
+  syscall(SYS_futex, reinterpret_cast<uint32_t*>(word), FUTEX_WAKE, n, nullptr, nullptr, 0);
+}
+
+inline void ShmFutexWait(std::atomic<uint32_t>* word, uint32_t expected, double timeout_ms) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_ms / 1000.0);
+  ts.tv_nsec = static_cast<long>((timeout_ms - ts.tv_sec * 1000.0) * 1e6);
+  syscall(SYS_futex, reinterpret_cast<uint32_t*>(word), FUTEX_WAIT, expected, &ts, nullptr, 0);
+}
+#else
+inline void ShmFutexWake(std::atomic<uint32_t>*, int) {}
+
+inline void ShmFutexWait(std::atomic<uint32_t>* word, uint32_t expected, double timeout_ms) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double, std::milli>(timeout_ms);
+  while (word->load(std::memory_order_acquire) == expected &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+#endif
+
+// Monotonic milliseconds shared across processes (reclamation age base).
+inline int64_t ShmMonotonicMs() {
+#ifdef __linux__
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+#else
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+#endif
+}
+
+}  // namespace serve
+}  // namespace tvmcpp
+
+#endif  // SRC_SERVE_SHM_LAYOUT_H_

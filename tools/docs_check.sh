@@ -68,7 +68,31 @@ for var in $doc_vars; do
   fi
 done
 
+# Deployment guide: every env var an operator doc names must be a real knob
+# (referenced by code/CI), and every TVMCPP_SHM_* transport knob must be
+# documented in docs/DEPLOYMENT.md — the operator guide is the shm contract's
+# home, so a new transport knob cannot ship without deployment docs.
+deploy="$root/docs/DEPLOYMENT.md"
+if [ ! -f "$deploy" ]; then
+  echo "docs-check: missing docs/DEPLOYMENT.md (operator guide)"
+  fail=1
+else
+  for var in $(grep -oE '`TVMCPP_[A-Z0-9_]+`' "$deploy" "$root/README.md" \
+               | grep -oE 'TVMCPP_[A-Z0-9_]+' | sort -u); do
+    if ! printf '%s\n' "$all_vars" | grep -qx "$var"; then
+      echo "docs-check: README.md or docs/DEPLOYMENT.md references env var $var which no code references"
+      fail=1
+    fi
+  done
+  for var in $(printf '%s\n' "$all_vars" | grep '^TVMCPP_SHM_'); do
+    if ! grep -q "\`$var\`" "$deploy"; then
+      echo "docs-check: shm transport knob $var is missing from docs/DEPLOYMENT.md"
+      fail=1
+    fi
+  done
+fi
+
 if [ "$fail" -eq 0 ]; then
-  echo "docs-check: directory map and env-var table are in sync with the tree"
+  echo "docs-check: directory map, env-var table, and deployment guide are in sync with the tree"
 fi
 exit "$fail"
